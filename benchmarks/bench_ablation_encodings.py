@@ -1,0 +1,50 @@
+"""Section IV-B ablation — frequency and identity encodings of the sampler.
+
+The paper reports that the proposed frequency encoding (Eq. 12) and identity
+encoding (Eq. 13) consistently help the adaptive neighbor sampler (+0.6-1.8%
+MRR and lower variance) on top of the time encoding and raw features.
+
+Reproduction: train the TASER configuration with (a) both encodings, (b) only
+the frequency encoding, (c) only the identity encoding, and (d) neither, on
+the wikipedia profile.  Asserted shape: the fully-encoded sampler is at least
+as good (up to noise) as the one with neither encoding.
+"""
+
+import pytest
+
+from repro.bench import quick_config
+from repro.core import TaserTrainer
+
+SETTINGS = {
+    "freq+identity": (True, True),
+    "freq only": (True, False),
+    "identity only": (False, True),
+    "neither": (False, False),
+}
+
+
+def _run_setting(graph, use_freq, use_id, seed=0):
+    config = quick_config(backbone="graphmixer", adaptive_minibatch=True,
+                          adaptive_neighbor=True,
+                          use_frequency_encoding=use_freq,
+                          use_identity_encoding=use_id,
+                          batch_size=150, max_batches_per_epoch=8,
+                          eval_max_edges=150, seed=seed)
+    return TaserTrainer(graph, config).fit(evaluate_val=False).test_mrr
+
+
+@pytest.mark.paper("Section IV-B (encoding ablation)")
+def test_encoding_ablation(benchmark, wikipedia_graph):
+    def experiment():
+        return {name: _run_setting(wikipedia_graph, *flags)
+                for name, flags in SETTINGS.items()}
+
+    results = benchmark.pedantic(experiment, rounds=1, iterations=1)
+
+    print("\nEncoding ablation (GraphMixer + TASER, wikipedia): test MRR")
+    for name, value in results.items():
+        print(f"  {name:16s} {value:.4f}")
+
+    assert results["freq+identity"] >= results["neither"] - 0.02, \
+        "the frequency+identity encodings hurt accuracy beyond noise"
+    benchmark.extra_info["results"] = results

@@ -1,0 +1,62 @@
+"""Figure 1 — mini-batch generation dominates TGAT training time.
+
+The paper's motivating figure: as the number of neighbors per layer grows,
+the per-epoch *preparation* time (neighbor finding + feature slicing +
+CPU-GPU transfer) of a 2-layer TGAT with the original per-query finder grows
+much faster than the *propagation* time, and dominates the epoch.
+
+Reproduced shape: Prep time grows super-linearly with the neighbor budget and
+exceeds Prop time at the larger budgets on both dataset profiles.
+"""
+
+import pytest
+
+from repro.bench import quick_config
+from repro.bench.breakdown import runtime_breakdown
+
+NEIGHBOR_SWEEP = [5, 10, 15]
+
+
+def _sweep(graph, name):
+    rows = {}
+    for budget in NEIGHBOR_SWEEP:
+        config = quick_config(
+            backbone="tgat", adaptive_minibatch=False, adaptive_neighbor=False,
+            finder="original", cache_ratio=0.0, num_neighbors=budget,
+            num_candidates=budget, batch_size=100, max_batches_per_epoch=4,
+            eval_max_edges=10, seed=0)
+        row = runtime_breakdown(graph, config, label=f"{name}-n{budget}", epochs=1)
+        rows[budget] = {"Prep": row.nf + row.fs, "Prop": row.pp,
+                        "PrepShare": row.minibatch_generation_fraction}
+    return rows
+
+
+@pytest.mark.paper("Figure 1")
+def test_fig1_tgat_runtime_breakdown_wikipedia(benchmark, wikipedia_graph):
+    rows = benchmark.pedantic(lambda: _sweep(wikipedia_graph, "wikipedia"),
+                              rounds=1, iterations=1)
+    print("\nFigure 1 (wikipedia): per-epoch Prep vs Prop seconds of 2-layer TGAT")
+    for budget, row in rows.items():
+        print(f"  neighbors/layer={budget:3d}  Prep={row['Prep']:.3f}s  "
+              f"Prop={row['Prop']:.3f}s  Prep share={row['PrepShare'] * 100:.0f}%")
+
+    budgets = sorted(rows)
+    # Preparation time grows with the neighbor budget...
+    assert rows[budgets[-1]]["Prep"] > rows[budgets[0]]["Prep"]
+    # ...and dominates the epoch at the largest budget (paper: 70-92%).
+    assert rows[budgets[-1]]["PrepShare"] > 0.5
+    benchmark.extra_info["rows"] = {str(k): v for k, v in rows.items()}
+
+
+@pytest.mark.paper("Figure 1")
+def test_fig1_tgat_runtime_breakdown_reddit(benchmark, reddit_graph):
+    rows = benchmark.pedantic(lambda: _sweep(reddit_graph, "reddit"),
+                              rounds=1, iterations=1)
+    print("\nFigure 1 (reddit): per-epoch Prep vs Prop seconds of 2-layer TGAT")
+    for budget, row in rows.items():
+        print(f"  neighbors/layer={budget:3d}  Prep={row['Prep']:.3f}s  "
+              f"Prop={row['Prop']:.3f}s  Prep share={row['PrepShare'] * 100:.0f}%")
+    budgets = sorted(rows)
+    assert rows[budgets[-1]]["Prep"] > rows[budgets[0]]["Prep"]
+    assert rows[budgets[-1]]["PrepShare"] > 0.5
+    benchmark.extra_info["rows"] = {str(k): v for k, v in rows.items()}

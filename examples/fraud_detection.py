@@ -1,0 +1,79 @@
+#!/usr/bin/env python
+"""Fraud-detection scenario: robustness of TASER to increasing interaction noise.
+
+The paper motivates TASER with applications such as fraud detection, where
+the interaction stream is polluted by irrelevant or adversarial events and
+the *noise pattern differs per account* — exactly the situation adaptive
+sampling is designed for.
+
+This example builds a GDELT-like transaction graph (node + edge features,
+heavy repeats), then sweeps the amount of additional random-interaction noise
+injected into the stream and compares how the baseline TGNN and TASER degrade.
+TASER's adaptive mini-batch selection avoids training on the injected noise
+events and its adaptive neighbor sampler avoids aggregating them, so its MRR
+should degrade more slowly.
+
+Run with ``python examples/fraud_detection.py`` (a few minutes on a CPU).
+"""
+
+from __future__ import annotations
+
+from repro import TaserConfig, TaserTrainer
+from repro.graph import CTDGConfig, generate_ctdg, inject_random_edges, measure_noise
+
+NOISE_LEVELS = [0.0, 0.3, 0.6]
+
+
+def build_transaction_graph() -> "TemporalGraph":
+    """A small account-to-account payment graph with community structure."""
+    config = CTDGConfig(
+        name="payments", bipartite=False,
+        num_src=150, num_dst=0,
+        num_events=8000, num_communities=6,
+        edge_dim=24, node_dim=16,
+        noise_prob=0.10,          # organic noise (mistyped / one-off payments)
+        repeat_prob=0.5,          # recurring counterparties
+        drift_fraction=0.4,       # accounts whose behaviour changes mid-stream
+        activity_skew=1.2, seed=7,
+    )
+    return generate_ctdg(config)
+
+
+def run(graph, adaptive: bool, seed: int = 0) -> float:
+    config = TaserConfig(
+        backbone="graphmixer",
+        adaptive_minibatch=adaptive, adaptive_neighbor=adaptive,
+        hidden_dim=16, time_dim=8,
+        num_neighbors=5, num_candidates=10,
+        batch_size=200, epochs=4, max_batches_per_epoch=12,
+        eval_max_edges=200, lr=2e-3, seed=seed,
+    )
+    return TaserTrainer(graph, config).fit(evaluate_val=False).test_mrr
+
+
+def main() -> None:
+    base_graph = build_transaction_graph()
+    print(f"transaction graph: {base_graph}")
+
+    rows = []
+    for level in NOISE_LEVELS:
+        graph = inject_random_edges(base_graph, level, seed=13) if level else base_graph
+        report = measure_noise(graph)
+        baseline_mrr = run(graph, adaptive=False)
+        taser_mrr = run(graph, adaptive=True)
+        rows.append((level, report.noise_edge_fraction, baseline_mrr, taser_mrr))
+        print(f"injected noise +{level:.0%}: noise fraction "
+              f"{report.noise_edge_fraction:.1%}  baseline MRR {baseline_mrr:.4f}  "
+              f"TASER MRR {taser_mrr:.4f}  (gap {taser_mrr - baseline_mrr:+.4f})")
+
+    print("\nSummary (higher is better):")
+    print(f"{'injected':>10} {'baseline':>10} {'TASER':>10} {'gap':>8}")
+    for level, _, baseline_mrr, taser_mrr in rows:
+        print(f"{level:>10.0%} {baseline_mrr:>10.4f} {taser_mrr:>10.4f} "
+              f"{taser_mrr - baseline_mrr:>+8.4f}")
+    print("\nExpected shape: the TASER-vs-baseline gap widens (or at least persists) "
+          "as more noise is injected, mirroring the paper's motivation.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,75 @@
+#!/usr/bin/env python
+"""Quickstart: train TASER on a synthetic Wikipedia-profile dynamic graph.
+
+This script walks through the full public API in the order a new user would
+meet it:
+
+1. generate a Continuous-Time Dynamic Graph with planted noise,
+2. inspect the noise the paper targets (deprecated links, skew),
+3. train the baseline TGNN and the full TASER pipeline,
+4. compare their test MRR and the per-phase runtime breakdown.
+
+Run with ``python examples/quickstart.py`` (about a minute on a laptop CPU).
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro import TaserConfig, TaserTrainer, load_dataset
+from repro.graph import measure_noise
+
+
+def main() -> None:
+    # ------------------------------------------------------------------ data
+    print("=== 1. Generate the dataset " + "=" * 40)
+    graph = load_dataset("wikipedia", seed=0)
+    print(f"graph: {graph}")
+    noise = measure_noise(graph)
+    print(f"planted noise: {noise.noise_edge_fraction:.1%} random-destination events, "
+          f"{noise.stale_edge_fraction:.1%} stale (deprecated) events, "
+          f"repeat ratio {noise.repeat_ratio:.2f}, degree Gini {noise.degree_gini:.2f}")
+
+    # ------------------------------------------------------------- experiments
+    common = dict(
+        backbone="graphmixer",   # 1-layer MLP-Mixer backbone; try "tgat" too
+        hidden_dim=16,
+        time_dim=8,
+        num_neighbors=5,         # n  — supporting neighbors per node
+        num_candidates=10,       # m  — candidates pre-sampled by the finder
+        batch_size=200,
+        epochs=4,
+        max_batches_per_epoch=12,
+        eval_max_edges=200,
+        lr=2e-3,
+        seed=0,
+    )
+
+    print("\n=== 2. Baseline: chronological batches + static neighbor finder ===")
+    baseline_cfg = TaserConfig(adaptive_minibatch=False, adaptive_neighbor=False,
+                               **common)
+    t0 = time.time()
+    baseline = TaserTrainer(graph, baseline_cfg).fit(evaluate_val=False)
+    print(f"baseline     test MRR = {baseline.test_mrr:.4f}   "
+          f"({time.time() - t0:.1f}s, runtime breakdown {fmt(baseline.runtime_breakdown)})")
+
+    print("\n=== 3. TASER: adaptive mini-batch selection + adaptive neighbor sampling ===")
+    taser_cfg = TaserConfig(adaptive_minibatch=True, adaptive_neighbor=True, **common)
+    t0 = time.time()
+    taser = TaserTrainer(graph, taser_cfg).fit(evaluate_val=False)
+    print(f"TASER        test MRR = {taser.test_mrr:.4f}   "
+          f"({time.time() - t0:.1f}s, runtime breakdown {fmt(taser.runtime_breakdown)})")
+
+    print("\n=== 4. Summary " + "=" * 48)
+    print(f"MRR improvement of TASER over the baseline: "
+          f"{taser.test_mrr - baseline.test_mrr:+.4f}")
+    print("Next steps: examples/fraud_detection.py (noise robustness) and "
+          "examples/recommendation.py (cache + finder systems study).")
+
+
+def fmt(breakdown: dict) -> str:
+    return ", ".join(f"{k}={v:.2f}s" for k, v in sorted(breakdown.items()))
+
+
+if __name__ == "__main__":
+    main()

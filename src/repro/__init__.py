@@ -1,0 +1,46 @@
+"""repro — a full reproduction of TASER (IPDPS 2024).
+
+TASER: Temporal Adaptive Sampling for Fast and Accurate Dynamic Graph
+Representation Learning.  The package contains every substrate the paper
+depends on (autograd engine, TGNN backbones, temporal-graph containers and
+generators, neighbor finders, a simulated GPU memory hierarchy) plus the
+paper's contribution (adaptive mini-batch selection, adaptive neighbor
+sampling, the GPU neighbor finder and the dynamic feature cache).
+
+Quickstart
+----------
+>>> from repro import load_dataset, TaserConfig, TaserTrainer
+>>> graph = load_dataset("wikipedia")
+>>> trainer = TaserTrainer(graph, TaserConfig(backbone="tgat", epochs=3))
+>>> result = trainer.fit()
+>>> round(result.test_mrr, 3)  # doctest: +SKIP
+"""
+
+from .graph import (TemporalGraph, TCSR, build_tcsr, CTDGConfig, generate_ctdg,
+                    load_dataset, dataset_config, dataset_table, DATASET_NAMES,
+                    chronological_split, TemporalSplit)
+from .core import (TaserConfig, TaserTrainer, TrainResult,
+                   AdaptiveMiniBatchSelector, AdaptiveNeighborSampler,
+                   MiniBatchGenerator)
+from .models import TGAT, GraphMixer, EdgePredictor, make_backbone
+from .sampling import (GPUNeighborFinder, TGLNeighborFinder, OriginalNeighborFinder,
+                       make_finder, NeighborBatch)
+from .device import (DynamicFeatureCache, OracleCache, FeatureStore,
+                     TransferCostModel)
+from .eval import LinkPredictionEvaluator, mrr
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "TemporalGraph", "TCSR", "build_tcsr", "CTDGConfig", "generate_ctdg",
+    "load_dataset", "dataset_config", "dataset_table", "DATASET_NAMES",
+    "chronological_split", "TemporalSplit",
+    "TaserConfig", "TaserTrainer", "TrainResult",
+    "AdaptiveMiniBatchSelector", "AdaptiveNeighborSampler", "MiniBatchGenerator",
+    "TGAT", "GraphMixer", "EdgePredictor", "make_backbone",
+    "GPUNeighborFinder", "TGLNeighborFinder", "OriginalNeighborFinder",
+    "make_finder", "NeighborBatch",
+    "DynamicFeatureCache", "OracleCache", "FeatureStore", "TransferCostModel",
+    "LinkPredictionEvaluator", "mrr",
+    "__version__",
+]

@@ -1,0 +1,111 @@
+"""Runtime-breakdown experiments (Fig. 1 and Table III).
+
+The breakdown separates an epoch into the four phases of Table III:
+``NF`` (neighbor finding), ``AS`` (adaptive neighbor sampling), ``FS``
+(feature slicing, measured gather time plus the simulated PCIe/VRAM transfer
+time of the memory-hierarchy cost model) and ``PP`` (forward/backward
+propagation and optimiser steps).
+
+Normalisation to simulated device seconds
+-----------------------------------------
+The paper runs the dense-compute phases (propagation, adaptive sampling and
+the block-centric neighbor finder) on a GPU, while the original/TGL neighbor
+finders run on the host CPU and the feature slicing cost is data movement.
+This reproduction measures everything on a CPU with numpy, which inflates the
+dense-compute phases by roughly two orders of magnitude relative to a GPU and
+would flip the paper's ratios.  ``runtime_breakdown`` therefore converts the
+device-side phases into *simulated device seconds* by dividing the measured
+numpy time by ``device_speedup`` (default 64, an explicit and documented
+calibration constant), while host-side phases (the original / TGL finders)
+keep their measured wall-clock and feature slicing keeps its byte/row-level
+cost model.  Only the *relative* structure of the resulting tables is
+interpreted, never the absolute seconds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from ..core import TaserConfig, TaserTrainer
+from ..graph.temporal_graph import TemporalGraph
+
+__all__ = ["BreakdownRow", "runtime_breakdown", "system_configurations",
+           "DEVICE_COMPUTE_SPEEDUP"]
+
+#: default numpy-CPU -> simulated-GPU conversion factor for dense compute.
+DEVICE_COMPUTE_SPEEDUP = 64.0
+
+
+@dataclass
+class BreakdownRow:
+    """One row of Table III: a system configuration and its per-epoch phases."""
+
+    label: str
+    nf: float
+    adaptive: float
+    fs: float
+    pp: float
+
+    @property
+    def total(self) -> float:
+        return self.nf + self.adaptive + self.fs + self.pp
+
+    @property
+    def minibatch_generation_fraction(self) -> float:
+        """Share of the epoch spent generating mini-batches (NF + FS)."""
+        return (self.nf + self.fs) / self.total if self.total else 0.0
+
+    def as_dict(self) -> Dict[str, float]:
+        return {"NF": self.nf, "AS": self.adaptive, "FS": self.fs, "PP": self.pp,
+                "Total": self.total}
+
+
+def runtime_breakdown(graph: TemporalGraph, config: TaserConfig, label: str,
+                      epochs: int = 1,
+                      device_speedup: float = DEVICE_COMPUTE_SPEEDUP) -> BreakdownRow:
+    """Train ``epochs`` epochs under ``config`` and average the phase times.
+
+    Dense-compute phases (PP, AS, and NF when the block-centric "GPU" finder
+    is used) are divided by ``device_speedup`` to express them in simulated
+    device seconds; see the module docstring.
+    """
+    if device_speedup <= 0:
+        raise ValueError("device_speedup must be positive")
+    trainer = TaserTrainer(graph, config)
+    totals = {"NF": 0.0, "AS": 0.0, "FS": 0.0, "FS_transfer": 0.0, "PP": 0.0}
+    for _ in range(epochs):
+        stats = trainer.train_epoch()
+        for key in totals:
+            totals[key] += stats.runtime.get(key, 0.0)
+    nf = totals["NF"] / epochs
+    if config.finder == "gpu":
+        nf /= device_speedup
+    # FS = modelled PCIe/VRAM transfer time plus the measured gather compute
+    # converted to device seconds (the gather kernel runs on the GPU in the
+    # paper); the deterministic transfer component dominates, so the cache
+    # effect is not drowned by wall-clock jitter of the CPU gather.
+    fs_measured = (totals["FS"] - totals["FS_transfer"]) / epochs
+    fs = totals["FS_transfer"] / epochs + fs_measured / device_speedup
+    return BreakdownRow(label=label, nf=nf,
+                        adaptive=totals["AS"] / epochs / device_speedup,
+                        fs=fs,
+                        pp=totals["PP"] / epochs / device_speedup)
+
+
+def system_configurations(base: TaserConfig) -> List[tuple]:
+    """The five system rows of Table III, derived from a TASER base config.
+
+    Baseline      original per-query CPU finder, no feature cache.
+    +GPU NF       TASER's block-centric finder, still no cache.
+    +10/20/30%    GPU finder plus the dynamic feature cache at that capacity.
+    """
+    from dataclasses import replace
+
+    return [
+        ("Baseline", replace(base, finder="original", cache_ratio=0.0)),
+        ("+GPU NF", replace(base, finder="gpu", cache_ratio=0.0)),
+        ("+10% Cache", replace(base, finder="gpu", cache_ratio=0.1)),
+        ("+20% Cache", replace(base, finder="gpu", cache_ratio=0.2)),
+        ("+30% Cache", replace(base, finder="gpu", cache_ratio=0.3)),
+    ]

@@ -1,0 +1,141 @@
+"""Benchmark harness shared by the ``benchmarks/`` suite.
+
+Each paper table/figure has a dedicated benchmark module; this harness holds
+the pieces they share: building a trainer for a named dataset + method
+variant, formatting result tables, and the runtime-breakdown experiment of
+Fig. 1 / Table III.
+
+Scale control
+-------------
+The benchmark defaults are sized so the whole suite finishes on a laptop CPU
+in minutes.  Two environment variables scale them up toward the paper's
+setting:
+
+``REPRO_BENCH_SCALE``   multiplies dataset sizes (default 1.0).
+``REPRO_BENCH_EPOCHS``  overrides the number of training epochs.
+``REPRO_BENCH_DATASETS`` comma-separated dataset list for the accuracy table.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import replace
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core import TaserConfig, TaserTrainer, TrainResult
+from ..graph import load_dataset
+from ..graph.temporal_graph import TemporalGraph
+
+__all__ = [
+    "bench_scale",
+    "bench_epochs",
+    "bench_datasets",
+    "quick_config",
+    "variant_config",
+    "VARIANTS",
+    "run_variant",
+    "format_table",
+    "geometric_mean",
+]
+
+#: the four method rows of Table I: (adaptive_minibatch, adaptive_neighbor).
+VARIANTS: Dict[str, Tuple[bool, bool]] = {
+    "Baseline": (False, False),
+    "w/ Ada. Mini-Batch": (True, False),
+    "w/ Ada. Neighbor": (False, True),
+    "TASER": (True, True),
+}
+
+
+def bench_scale() -> float:
+    """Dataset-size multiplier from the environment (default 1.0)."""
+    return float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+
+
+def bench_epochs(default: int) -> int:
+    """Training epochs, overridable via ``REPRO_BENCH_EPOCHS``."""
+    return int(os.environ.get("REPRO_BENCH_EPOCHS", str(default)))
+
+
+def bench_datasets(default: Sequence[str]) -> List[str]:
+    """Datasets used by the accuracy benchmarks (``REPRO_BENCH_DATASETS``)."""
+    raw = os.environ.get("REPRO_BENCH_DATASETS")
+    if not raw:
+        return list(default)
+    return [name.strip() for name in raw.split(",") if name.strip()]
+
+
+def quick_config(backbone: str = "graphmixer", **overrides) -> TaserConfig:
+    """CPU-sized TASER configuration used across the benchmark suite.
+
+    Every field can be overridden; ``epochs`` additionally honours
+    ``REPRO_BENCH_EPOCHS``.
+    """
+    base = dict(
+        backbone=backbone,
+        hidden_dim=16,
+        time_dim=8,
+        num_neighbors=5,
+        num_candidates=10,
+        batch_size=200,
+        epochs=bench_epochs(5),
+        max_batches_per_epoch=12,
+        lr=2e-3,
+        sampler_lr=1e-3,
+        dropout=0.0,
+        eval_max_edges=200,
+        eval_negatives=49,
+        cache_ratio=0.2,
+    )
+    base.update(overrides)
+    return TaserConfig(**base)
+
+
+def variant_config(variant: str, backbone: str, **overrides) -> TaserConfig:
+    """Configuration of one Table-I row."""
+    if variant not in VARIANTS:
+        raise ValueError(f"unknown variant {variant!r}; choose from {list(VARIANTS)}")
+    adaptive_minibatch, adaptive_neighbor = VARIANTS[variant]
+    return quick_config(backbone=backbone, adaptive_minibatch=adaptive_minibatch,
+                        adaptive_neighbor=adaptive_neighbor, **overrides)
+
+
+def run_variant(dataset: str, variant: str, backbone: str, seed: int = 0,
+                graph: Optional[TemporalGraph] = None,
+                **overrides) -> TrainResult:
+    """Train one (dataset, variant, backbone) cell and return its result."""
+    graph = graph if graph is not None else load_dataset(dataset, scale=bench_scale(),
+                                                         seed=seed)
+    config = variant_config(variant, backbone, seed=seed, **overrides)
+    trainer = TaserTrainer(graph, config)
+    return trainer.fit(evaluate_val=False)
+
+
+def geometric_mean(values: Iterable[float]) -> float:
+    vals = np.asarray(list(values), dtype=np.float64)
+    if vals.size == 0 or np.any(vals <= 0):
+        return float("nan")
+    return float(np.exp(np.log(vals).mean()))
+
+
+def format_table(rows: Dict[str, Dict[str, float]], value_format: str = "{:.4f}",
+                 title: str = "") -> str:
+    """Render a nested dict as an aligned text table (rows x columns)."""
+    columns = sorted({c for cols in rows.values() for c in cols})
+    header = [""] + columns
+    lines = []
+    if title:
+        lines.append(title)
+    widths = [max(len(str(r)) for r in list(rows) + [""]) + 2] + \
+        [max(len(c), 10) + 2 for c in columns]
+    lines.append("".join(h.ljust(w) for h, w in zip(header, widths)))
+    for name, cols in rows.items():
+        cells = [str(name).ljust(widths[0])]
+        for col, width in zip(columns, widths[1:]):
+            value = cols.get(col)
+            cell = "-" if value is None else value_format.format(value)
+            cells.append(cell.ljust(width))
+        lines.append("".join(cells))
+    return "\n".join(lines)

@@ -1,0 +1,35 @@
+"""TASER core: adaptive mini-batch selection, adaptive neighbor sampling,
+sample losses, the mini-batch pipeline and the end-to-end trainer."""
+
+from .config import TaserConfig
+from .minibatch_selector import (MiniBatchSelector, ChronologicalSelector,
+                                 AdaptiveMiniBatchSelector)
+from .decoders import (NeighborDecoder, LinearDecoder, GATDecoder, GATv2Decoder,
+                       TransformerDecoder, make_decoder)
+from .neighbor_sampler import AdaptiveNeighborSampler, NeighborSelection
+from .sample_loss import (sensitivity_sample_loss, tgat_analytic_sample_loss,
+                          build_sample_loss)
+from .pipeline import MiniBatchGenerator
+from .trainer import TaserTrainer, TrainResult, EpochStats
+
+__all__ = [
+    "TaserConfig",
+    "MiniBatchSelector",
+    "ChronologicalSelector",
+    "AdaptiveMiniBatchSelector",
+    "NeighborDecoder",
+    "LinearDecoder",
+    "GATDecoder",
+    "GATv2Decoder",
+    "TransformerDecoder",
+    "make_decoder",
+    "AdaptiveNeighborSampler",
+    "NeighborSelection",
+    "sensitivity_sample_loss",
+    "tgat_analytic_sample_loss",
+    "build_sample_loss",
+    "MiniBatchGenerator",
+    "TaserTrainer",
+    "TrainResult",
+    "EpochStats",
+]

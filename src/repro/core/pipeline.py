@@ -1,0 +1,127 @@
+"""Mini-batch generation pipeline: neighbor finding -> feature slicing ->
+adaptive neighbor sampling.
+
+This is the per-iteration data path of Fig. 2 (b)-(d).  For every TGNN layer
+the pipeline
+
+1. asks the neighbor finder for ``m`` *candidate* neighbors per target
+   (``m = n`` when adaptive neighbor sampling is disabled),
+2. slices candidate node/edge features through the simulated memory
+   hierarchy (VRAM cache + PCIe zero-copy accounting),
+3. optionally runs the adaptive neighbor sampler to keep the ``n`` most
+   informative candidates, and
+4. expands the frontier with the *selected* neighbors only (Algorithm 1).
+
+Per-phase wall-clock time is recorded in the supplied
+:class:`~repro.utils.Timer` under the section names used by the paper's
+runtime tables: ``NF`` (neighbor finding), ``FS`` (feature slicing) and
+``AS`` (adaptive sampling).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from ..device.memory import FeatureStore
+from ..models.minibatch import HopData, MiniBatch
+from ..sampling.base import NeighborBatch, NeighborFinder
+from ..sampling.recursive import flatten_frontier
+from ..utils.timer import Timer
+from .neighbor_sampler import AdaptiveNeighborSampler
+
+__all__ = ["MiniBatchGenerator"]
+
+
+class MiniBatchGenerator:
+    """Builds :class:`~repro.models.MiniBatch` objects for training/evaluation."""
+
+    def __init__(self, finder: NeighborFinder, feature_store: FeatureStore,
+                 num_layers: int, num_neighbors: int, num_candidates: int,
+                 adaptive_sampler: Optional[AdaptiveNeighborSampler] = None,
+                 timer: Optional[Timer] = None) -> None:
+        if num_layers <= 0:
+            raise ValueError("num_layers must be positive")
+        if num_candidates < num_neighbors:
+            raise ValueError("num_candidates (m) must be >= num_neighbors (n)")
+        self.finder = finder
+        self.feature_store = feature_store
+        self.num_layers = num_layers
+        self.num_neighbors = num_neighbors
+        self.num_candidates = num_candidates
+        self.adaptive_sampler = adaptive_sampler
+        self.timer = timer if timer is not None else Timer()
+
+    # -- helpers -----------------------------------------------------------------
+
+    @property
+    def uses_adaptive_sampling(self) -> bool:
+        return self.adaptive_sampler is not None
+
+    def _candidate_budget(self) -> int:
+        return self.num_candidates if self.uses_adaptive_sampling else self.num_neighbors
+
+    def _slice_candidate_features(self, candidates: NeighborBatch,
+                                  target_nodes: np.ndarray):
+        """Gather edge/node features of the candidate neighborhood."""
+        store = self.feature_store
+        edge_feat = store.slice_edge_features(candidates.eids, candidates.mask)
+        neigh_feat = store.slice_node_features(candidates.nodes, candidates.mask)
+        target_feat = store.slice_node_features(target_nodes)
+        return edge_feat, neigh_feat, target_feat
+
+    @staticmethod
+    def _gather_columns(array: Optional[np.ndarray], columns: np.ndarray
+                        ) -> Optional[np.ndarray]:
+        if array is None:
+            return None
+        return np.take_along_axis(array, columns[..., None], axis=1)
+
+    # -- main entry point ------------------------------------------------------------
+
+    def build(self, root_nodes: np.ndarray, root_times: np.ndarray,
+              train: bool = True) -> MiniBatch:
+        """Build the full multi-hop mini-batch for the given root queries."""
+        root_nodes = np.asarray(root_nodes, dtype=np.int64)
+        root_times = np.asarray(root_times, dtype=np.float64)
+        with self.timer.section("FS"):
+            root_feat = self.feature_store.slice_node_features(root_nodes)
+        minibatch = MiniBatch(root_nodes=root_nodes, root_times=root_times,
+                              root_node_feat=root_feat)
+
+        cur_nodes, cur_times = root_nodes, root_times
+        for _layer in range(self.num_layers):
+            with self.timer.section("NF"):
+                candidates = self.finder.sample(cur_nodes, cur_times,
+                                                self._candidate_budget())
+            with self.timer.section("FS"):
+                edge_feat, neigh_feat, target_feat = self._slice_candidate_features(
+                    candidates, cur_nodes)
+
+            if self.uses_adaptive_sampling:
+                with self.timer.section("AS"):
+                    selection = self.adaptive_sampler(
+                        candidates, self.num_neighbors,
+                        edge_feat=edge_feat, neigh_node_feat=neigh_feat,
+                        target_node_feat=target_feat, greedy=not train)
+                    selected = candidates.select(selection.columns)
+                    hop = HopData(
+                        batch=selected,
+                        edge_feat=self._gather_columns(edge_feat, selection.columns),
+                        neigh_node_feat=self._gather_columns(neigh_feat, selection.columns),
+                        target_node_feat=target_feat,
+                        log_prob=selection.log_prob if train else None,
+                        candidates=candidates,
+                    )
+            else:
+                hop = HopData(batch=candidates, edge_feat=edge_feat,
+                              neigh_node_feat=neigh_feat,
+                              target_node_feat=target_feat)
+
+            if train and self.uses_adaptive_sampling:
+                hop.make_gate()
+            minibatch.hops.append(hop)
+            cur_nodes, cur_times = flatten_frontier(hop.batch)
+
+        return minibatch

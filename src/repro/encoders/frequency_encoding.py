@@ -1,0 +1,43 @@
+"""Frequency encoding (Eq. 12): sinusoidal encoding of neighbor repetition.
+
+Dynamic graphs contain many repeated edges between the same node pair.  The
+TASER neighbor encoder feeds the sampler the *within-neighborhood frequency*
+of each neighbor node through a sinusoidal (positional) encoding, so the
+sampler can distinguish a "best friend" neighbor repeated dozens of times
+from a one-off interaction.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+import numpy as np
+
+from ..nn.module import Module
+from ..tensor import Tensor
+
+__all__ = ["FrequencyEncoder"]
+
+
+class FrequencyEncoder(Module):
+    """Sinusoidal (transformer positional) encoding of integer frequencies."""
+
+    def __init__(self, dim: int, base: float = 10000.0) -> None:
+        super().__init__()
+        if dim <= 0:
+            raise ValueError("frequency-encoding dimension must be positive")
+        self.dim = dim
+        self.base = base
+        half = np.arange(dim, dtype=np.float64) // 2
+        #: per-channel inverse wavelength 1 / base^{2i/d}.
+        self.inv_wavelength = base ** (-2.0 * half / dim)
+        #: channels alternate sin (even) / cos (odd), mirroring Eq. (12).
+        self.is_sin = (np.arange(dim) % 2 == 0)
+
+    def forward(self, frequency: Union[np.ndarray, Tensor]) -> Tensor:
+        """Encode integer frequencies; output shape ``frequency.shape + (dim,)``."""
+        freq = np.asarray(frequency.data if isinstance(frequency, Tensor) else frequency,
+                          dtype=np.float64)
+        angles = freq[..., None] * self.inv_wavelength
+        enc = np.where(self.is_sin, np.sin(angles), np.cos(angles))
+        return Tensor(enc)

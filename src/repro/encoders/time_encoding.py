@@ -1,0 +1,70 @@
+"""Time encodings: map relative timespans to vectors.
+
+Two encoders from the paper:
+
+* :class:`LearnableTimeEncoder` — TGAT's learnable encoding
+  ``Phi(dt) = cos(dt * w + b)`` (Eq. 3) with trainable ``w`` and ``b``.
+* :class:`FixedTimeEncoder` — GraphMixer's fixed encoding
+  ``Phi(dt) = cos(dt * omega)`` with ``omega_i = alpha^{-(i-1)/beta}``
+  (Eq. 8).  TASER's neighbor *encoder* reuses this fixed variant (Section
+  III-B) because a fixed encoding keeps the sampler's probability landscape
+  stable while the aggregator trains.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+import numpy as np
+
+from ..nn.module import Module, Parameter
+from ..tensor import Tensor
+
+__all__ = ["LearnableTimeEncoder", "FixedTimeEncoder"]
+
+
+def _as_tensor(delta_t: Union[np.ndarray, Tensor]) -> Tensor:
+    return delta_t if isinstance(delta_t, Tensor) else Tensor(np.asarray(delta_t, dtype=np.float64))
+
+
+class LearnableTimeEncoder(Module):
+    """TGAT time encoding ``cos(dt * w + b)`` with learnable frequencies."""
+
+    def __init__(self, dim: int, rng: Optional[np.random.Generator] = None) -> None:
+        super().__init__()
+        if dim <= 0:
+            raise ValueError("time-encoding dimension must be positive")
+        rng = rng if rng is not None else np.random.default_rng()
+        self.dim = dim
+        # Initialise frequencies on a log scale (same heuristic as the TGAT code).
+        init_w = 1.0 / 10 ** np.linspace(0, 4, dim)
+        self.w = Parameter(init_w)
+        self.b = Parameter(np.zeros(dim))
+
+    def forward(self, delta_t: Union[np.ndarray, Tensor]) -> Tensor:
+        """Encode relative timespans; output shape ``delta_t.shape + (dim,)``."""
+        dt = _as_tensor(delta_t)
+        expanded = dt.reshape(*dt.shape, 1) if dt.ndim else dt.reshape(1)
+        return (expanded * self.w + self.b).cos()
+
+
+class FixedTimeEncoder(Module):
+    """GraphMixer fixed time encoding ``cos(dt * omega)`` (no learnable state)."""
+
+    def __init__(self, dim: int, alpha: Optional[float] = None,
+                 beta: Optional[float] = None) -> None:
+        super().__init__()
+        if dim <= 0:
+            raise ValueError("time-encoding dimension must be positive")
+        self.dim = dim
+        # GraphMixer defaults: alpha = beta = sqrt(dim) spreads the frequencies
+        # geometrically from 1 down to ~alpha^{-dim/beta}.
+        self.alpha = float(alpha) if alpha is not None else float(np.sqrt(dim))
+        self.beta = float(beta) if beta is not None else float(np.sqrt(dim))
+        i = np.arange(1, dim + 1, dtype=np.float64)
+        self.omega = self.alpha ** (-(i - 1) / self.beta)
+
+    def forward(self, delta_t: Union[np.ndarray, Tensor]) -> Tensor:
+        dt = np.asarray(delta_t.data if isinstance(delta_t, Tensor) else delta_t,
+                        dtype=np.float64)
+        return Tensor(np.cos(dt[..., None] * self.omega))

@@ -1,0 +1,28 @@
+"""Dynamic-graph substrate: event lists, T-CSR, generators, noise, splits."""
+
+from .temporal_graph import TemporalGraph
+from .tcsr import TCSR, build_tcsr
+from .generators import CTDGConfig, generate_ctdg
+from .datasets import DATASET_NAMES, dataset_config, load_dataset, dataset_table
+from .noise import (NoiseReport, measure_noise, inject_random_edges,
+                    perturb_edge_features, drop_events)
+from .splits import TemporalSplit, chronological_split
+
+__all__ = [
+    "TemporalGraph",
+    "TCSR",
+    "build_tcsr",
+    "CTDGConfig",
+    "generate_ctdg",
+    "DATASET_NAMES",
+    "dataset_config",
+    "load_dataset",
+    "dataset_table",
+    "NoiseReport",
+    "measure_noise",
+    "inject_random_edges",
+    "perturb_edge_features",
+    "drop_events",
+    "TemporalSplit",
+    "chronological_split",
+]

@@ -1,0 +1,142 @@
+"""T-CSR: the temporal CSR structure introduced by TGL (Zhou et al., 2022).
+
+The T-CSR stores, for every node, its (bidirected) temporal adjacency list
+sorted by timestamp.  A neighbor finder can then locate the candidate set
+``N(v, t) = {(u, t_u) : (v, u, t_u) in E, t_u < t}`` with a single binary
+search for the *pivot* position of ``t`` inside the node's segment — exactly
+the access pattern the paper's GPU neighbor finder (Algorithm 2) relies on.
+
+Arrays
+------
+``indptr``   ``(|V| + 1,)``  segment boundaries per node.
+``indices``  ``(2|E|,)``     neighbor node id of each directed half-edge.
+``eid``      ``(2|E|,)``     original event id (for edge-feature lookup).
+``ts``       ``(2|E|,)``     event timestamp, non-decreasing inside a segment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from .temporal_graph import TemporalGraph
+
+__all__ = ["TCSR", "build_tcsr"]
+
+
+@dataclass
+class TCSR:
+    """Temporal CSR adjacency; see module docstring for array layout."""
+
+    indptr: np.ndarray
+    indices: np.ndarray
+    eid: np.ndarray
+    ts: np.ndarray
+    num_nodes: int
+
+    def __post_init__(self) -> None:
+        self.indptr = np.ascontiguousarray(self.indptr, dtype=np.int64)
+        self.indices = np.ascontiguousarray(self.indices, dtype=np.int64)
+        self.eid = np.ascontiguousarray(self.eid, dtype=np.int64)
+        self.ts = np.ascontiguousarray(self.ts, dtype=np.float64)
+
+    @property
+    def num_entries(self) -> int:
+        return int(self.indices.shape[0])
+
+    def degree(self, node: int) -> int:
+        """Number of (directed) adjacency entries of ``node`` over all time."""
+        return int(self.indptr[node + 1] - self.indptr[node])
+
+    def degrees(self) -> np.ndarray:
+        return np.diff(self.indptr)
+
+    def neighborhood(self, node: int) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Views (no copy) of the full temporal adjacency of ``node``.
+
+        Returns ``(neighbor_ids, event_ids, timestamps)`` sorted by time.
+        """
+        lo, hi = int(self.indptr[node]), int(self.indptr[node + 1])
+        return self.indices[lo:hi], self.eid[lo:hi], self.ts[lo:hi]
+
+    def pivot(self, node: int, t: float) -> int:
+        """Index (absolute, into ``indices``) of the first entry with ts >= t.
+
+        All entries in ``[indptr[node], pivot)`` are strictly earlier than
+        ``t`` and therefore form the valid temporal neighborhood at ``t``.
+        """
+        lo, hi = int(self.indptr[node]), int(self.indptr[node + 1])
+        return lo + int(np.searchsorted(self.ts[lo:hi], t, side="left"))
+
+    def pivots(self, nodes: np.ndarray, times: np.ndarray) -> np.ndarray:
+        """Vectorised :meth:`pivot` for a batch of (node, time) queries.
+
+        This is the batched binary search at the heart of the GPU neighbor
+        finder; on the simulated device it is one call per query segment but
+        fully vectorised over offsets inside the segment.
+        """
+        nodes = np.asarray(nodes, dtype=np.int64)
+        times = np.asarray(times, dtype=np.float64)
+        out = np.empty(nodes.shape[0], dtype=np.int64)
+        starts = self.indptr[nodes]
+        stops = self.indptr[nodes + 1]
+        # Per-query binary search; the segment array is shared and contiguous.
+        for i in range(nodes.shape[0]):
+            lo, hi = starts[i], stops[i]
+            out[i] = lo + np.searchsorted(self.ts[lo:hi], times[i], side="left")
+        return out
+
+    def check_invariants(self) -> None:
+        """Raise AssertionError when any structural invariant is violated."""
+        assert self.indptr.shape[0] == self.num_nodes + 1, "indptr length mismatch"
+        assert self.indptr[0] == 0, "indptr must start at zero"
+        assert np.all(np.diff(self.indptr) >= 0), "indptr must be non-decreasing"
+        assert self.indptr[-1] == self.num_entries, "indptr must end at num_entries"
+        assert self.indices.shape == self.eid.shape == self.ts.shape, "parallel array mismatch"
+        if self.num_entries:
+            assert self.indices.min() >= 0 and self.indices.max() < self.num_nodes, \
+                "neighbor id out of range"
+        # Timestamps sorted within each node segment.
+        for node in range(self.num_nodes):
+            lo, hi = self.indptr[node], self.indptr[node + 1]
+            seg = self.ts[lo:hi]
+            assert np.all(np.diff(seg) >= 0), f"segment of node {node} not time-sorted"
+
+
+def build_tcsr(graph: TemporalGraph, add_reverse: bool = True) -> TCSR:
+    """Build the T-CSR adjacency from an event list.
+
+    Parameters
+    ----------
+    graph:
+        The dynamic graph.
+    add_reverse:
+        When True (default, matching TGL) each event contributes adjacency
+        entries to *both* endpoints, so destination nodes also see their
+        history.  Both directions carry the same event id, hence the same
+        edge feature.
+    """
+    e = graph.num_edges
+    if add_reverse:
+        rows = np.concatenate([graph.src, graph.dst])
+        cols = np.concatenate([graph.dst, graph.src])
+        eid = np.concatenate([np.arange(e), np.arange(e)])
+        ts = np.concatenate([graph.ts, graph.ts])
+    else:
+        rows, cols, eid, ts = graph.src, graph.dst, np.arange(e), graph.ts
+
+    # Counting sort by (row, ts): first order by ts, then stable-sort by row so
+    # each node segment remains chronologically sorted.
+    order_t = np.argsort(ts, kind="stable")
+    rows_t, cols_t, eid_t, ts_t = rows[order_t], cols[order_t], eid[order_t], ts[order_t]
+    order_r = np.argsort(rows_t, kind="stable")
+    rows_s, cols_s, eid_s, ts_s = rows_t[order_r], cols_t[order_r], eid_t[order_r], ts_t[order_r]
+
+    counts = np.bincount(rows, minlength=graph.num_nodes)
+    indptr = np.zeros(graph.num_nodes + 1, dtype=np.int64)
+    np.cumsum(counts, out=indptr[1:])
+
+    return TCSR(indptr=indptr, indices=cols_s, eid=eid_s, ts=ts_s,
+                num_nodes=graph.num_nodes)

@@ -1,0 +1,6 @@
+"""Optimisers and LR schedules."""
+
+from .optimizers import Optimizer, SGD, Adam, clip_grad_norm
+from .schedulers import StepLR, CosineLR
+
+__all__ = ["Optimizer", "SGD", "Adam", "clip_grad_norm", "StepLR", "CosineLR"]

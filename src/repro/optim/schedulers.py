@@ -1,0 +1,46 @@
+"""Learning-rate schedules (step decay and cosine), optional extras."""
+
+from __future__ import annotations
+
+import math
+
+from .optimizers import Optimizer
+
+__all__ = ["StepLR", "CosineLR"]
+
+
+class StepLR:
+    """Multiply the learning rate by ``gamma`` every ``step_size`` epochs."""
+
+    def __init__(self, optimizer: Optimizer, step_size: int, gamma: float = 0.5) -> None:
+        if step_size <= 0:
+            raise ValueError("step_size must be positive")
+        self.optimizer = optimizer
+        self.step_size = step_size
+        self.gamma = gamma
+        self.base_lr = optimizer.lr
+        self.epoch = 0
+
+    def step(self) -> float:
+        self.epoch += 1
+        self.optimizer.lr = self.base_lr * (self.gamma ** (self.epoch // self.step_size))
+        return self.optimizer.lr
+
+
+class CosineLR:
+    """Cosine-annealed learning rate over ``total_epochs``."""
+
+    def __init__(self, optimizer: Optimizer, total_epochs: int, min_lr: float = 0.0) -> None:
+        if total_epochs <= 0:
+            raise ValueError("total_epochs must be positive")
+        self.optimizer = optimizer
+        self.total_epochs = total_epochs
+        self.min_lr = min_lr
+        self.base_lr = optimizer.lr
+        self.epoch = 0
+
+    def step(self) -> float:
+        self.epoch = min(self.epoch + 1, self.total_epochs)
+        cos = 0.5 * (1 + math.cos(math.pi * self.epoch / self.total_epochs))
+        self.optimizer.lr = self.min_lr + (self.base_lr - self.min_lr) * cos
+        return self.optimizer.lr

@@ -1,0 +1,17 @@
+"""Numpy-backed reverse-mode autograd engine (PyTorch substitute)."""
+
+from .tensor import Tensor, concatenate, stack, where, no_grad, is_grad_enabled
+from . import functional
+from .gradcheck import gradcheck, numerical_grad
+
+__all__ = [
+    "Tensor",
+    "concatenate",
+    "stack",
+    "where",
+    "no_grad",
+    "is_grad_enabled",
+    "functional",
+    "gradcheck",
+    "numerical_grad",
+]

@@ -1,0 +1,173 @@
+"""Functional building blocks on :class:`~repro.tensor.Tensor`.
+
+These are the loss functions and stateless transforms used throughout the
+TGNN models and the TASER adaptive sampler.  Everything is expressed as
+vectorised whole-array operations.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from .tensor import Tensor, concatenate, stack, where
+
+__all__ = [
+    "sigmoid",
+    "softmax",
+    "log_softmax",
+    "relu",
+    "leaky_relu",
+    "gelu",
+    "tanh",
+    "binary_cross_entropy_with_logits",
+    "cross_entropy",
+    "mse_loss",
+    "dropout",
+    "layer_norm",
+    "linear",
+    "masked_softmax",
+    "masked_mean",
+    "concatenate",
+    "stack",
+    "where",
+]
+
+
+# ---------------------------------------------------------------------------
+# activations (thin wrappers so callers can stay functional-style)
+# ---------------------------------------------------------------------------
+
+
+def sigmoid(x: Tensor) -> Tensor:
+    return x.sigmoid()
+
+
+def softmax(x: Tensor, axis: int = -1) -> Tensor:
+    return x.softmax(axis=axis)
+
+
+def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
+    return x.log_softmax(axis=axis)
+
+
+def relu(x: Tensor) -> Tensor:
+    return x.relu()
+
+
+def leaky_relu(x: Tensor, negative_slope: float = 0.2) -> Tensor:
+    return x.leaky_relu(negative_slope)
+
+
+def gelu(x: Tensor) -> Tensor:
+    return x.gelu()
+
+
+def tanh(x: Tensor) -> Tensor:
+    return x.tanh()
+
+
+# ---------------------------------------------------------------------------
+# losses
+# ---------------------------------------------------------------------------
+
+
+def binary_cross_entropy_with_logits(logits: Tensor, targets: Tensor,
+                                     reduction: str = "mean") -> Tensor:
+    """Numerically-stable BCE on raw logits.
+
+    Implements ``max(x, 0) - x*y + log(1 + exp(-|x|))`` which is the standard
+    stable formulation.  This is the model loss :math:`L_{model}` (Eq. 10) used
+    for self-supervised dynamic link prediction.
+    """
+    targets = Tensor.ensure(targets)
+    zeros = Tensor(np.zeros_like(logits.data))
+    loss = where(logits.data > 0, logits, zeros) - logits * targets \
+        + (Tensor(1.0) + (-logits.abs()).exp()).log()
+    if reduction == "mean":
+        return loss.mean()
+    if reduction == "sum":
+        return loss.sum()
+    if reduction == "none":
+        return loss
+    raise ValueError(f"unknown reduction {reduction!r}")
+
+
+def cross_entropy(logits: Tensor, target_index: np.ndarray,
+                  reduction: str = "mean") -> Tensor:
+    """Multi-class cross entropy over the last axis given integer targets."""
+    logp = logits.log_softmax(axis=-1)
+    rows = np.arange(logits.shape[0])
+    picked = logp[rows, np.asarray(target_index, dtype=np.int64)]
+    loss = -picked
+    if reduction == "mean":
+        return loss.mean()
+    if reduction == "sum":
+        return loss.sum()
+    return loss
+
+
+def mse_loss(pred: Tensor, target: Tensor, reduction: str = "mean") -> Tensor:
+    diff = pred - Tensor.ensure(target)
+    loss = diff * diff
+    if reduction == "mean":
+        return loss.mean()
+    if reduction == "sum":
+        return loss.sum()
+    return loss
+
+
+# ---------------------------------------------------------------------------
+# stateless layers
+# ---------------------------------------------------------------------------
+
+
+def dropout(x: Tensor, p: float, training: bool,
+            rng: Optional[np.random.Generator] = None) -> Tensor:
+    """Inverted dropout; identity when not training or ``p == 0``."""
+    if not training or p <= 0.0:
+        return x
+    rng = rng if rng is not None else np.random.default_rng()
+    keep = (rng.random(x.shape) >= p).astype(np.float64) / (1.0 - p)
+    return x * Tensor(keep)
+
+
+def layer_norm(x: Tensor, weight: Tensor, bias: Tensor, eps: float = 1e-5) -> Tensor:
+    """Layer normalisation over the last axis."""
+    mu = x.mean(axis=-1, keepdims=True)
+    centered = x - mu
+    var = (centered * centered).mean(axis=-1, keepdims=True)
+    normed = centered / (var + eps).sqrt()
+    return normed * weight + bias
+
+
+def linear(x: Tensor, weight: Tensor, bias: Optional[Tensor] = None) -> Tensor:
+    """Affine map ``x @ W^T + b`` (PyTorch weight layout ``(out, in)``)."""
+    out = x @ weight.T
+    if bias is not None:
+        out = out + bias
+    return out
+
+
+def masked_softmax(scores: Tensor, mask: np.ndarray, axis: int = -1) -> Tensor:
+    """Softmax where positions with ``mask == False`` receive zero weight.
+
+    Used by the temporal aggregators and the adaptive neighbor decoder when a
+    neighborhood has fewer valid neighbors than the padded budget.
+    """
+    mask = np.asarray(mask, dtype=bool)
+    neg = Tensor(np.where(mask, 0.0, -1e30))
+    out = (scores + neg).softmax(axis=axis)
+    # Zero-out any masked positions explicitly (handles fully-masked rows).
+    return out * Tensor(mask.astype(np.float64))
+
+
+def masked_mean(x: Tensor, mask: np.ndarray, axis: int) -> Tensor:
+    """Mean over ``axis`` counting only positions where ``mask`` is True."""
+    mask = np.asarray(mask, dtype=np.float64)
+    while mask.ndim < x.ndim:
+        mask = mask[..., None]
+    total = (x * Tensor(mask)).sum(axis=axis)
+    count = np.maximum(mask.sum(axis=axis), 1.0)
+    return total / Tensor(count)

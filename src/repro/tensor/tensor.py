@@ -1,0 +1,715 @@
+"""Reverse-mode automatic differentiation on top of numpy.
+
+This module provides the :class:`Tensor` class, a thin wrapper around
+``numpy.ndarray`` that records the computation graph of every operation so
+that gradients can be back-propagated with :meth:`Tensor.backward`.
+
+The engine substitutes for the PyTorch autograd used by the original TASER
+implementation.  It supports exactly the set of operations required by the
+TGNN backbones (TGAT, GraphMixer), the adaptive neighbor sampler, and the
+REINFORCE-style sample loss:
+
+* broadcasting element-wise arithmetic,
+* matrix multiplication (including batched ``@``),
+* reductions (``sum``, ``mean``, ``max``),
+* shape manipulation (``reshape``, ``transpose``, ``concatenate``, indexing),
+* the non-linearities used by the models (``sigmoid``, ``tanh``, ``relu``,
+  ``leaky_relu``, ``gelu``, ``softmax``, ``cos``, ``sin``, ``exp``, ``log``).
+
+Design notes
+------------
+The implementation follows the vectorisation idioms from the HPC guides: all
+forward/backward rules are expressed as whole-array numpy operations, no
+Python-level loops over elements, and gradients are accumulated in place with
+``+=`` to avoid temporaries.  Gradient flow through integer fancy-indexing
+(used for feature gathering) is implemented with ``np.add.at`` so repeated
+indices accumulate correctly — the same semantics as an embedding gather.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+__all__ = ["Tensor", "no_grad", "is_grad_enabled"]
+
+# ---------------------------------------------------------------------------
+# global autograd switch (mirrors torch.no_grad)
+# ---------------------------------------------------------------------------
+
+_GRAD_ENABLED = True
+
+
+class no_grad:
+    """Context manager that disables graph construction.
+
+    Inside a ``with no_grad():`` block every created :class:`Tensor` has
+    ``requires_grad=False`` and no backward closure is recorded.  Used by the
+    evaluator and by the neighbor finders, which never need gradients.
+    """
+
+    def __enter__(self) -> "no_grad":
+        global _GRAD_ENABLED
+        self._prev = _GRAD_ENABLED
+        _GRAD_ENABLED = False
+        return self
+
+    def __exit__(self, *exc) -> None:
+        global _GRAD_ENABLED
+        _GRAD_ENABLED = self._prev
+
+
+def is_grad_enabled() -> bool:
+    """Return whether operations currently record the autograd graph."""
+    return _GRAD_ENABLED
+
+
+# ---------------------------------------------------------------------------
+# helpers
+# ---------------------------------------------------------------------------
+
+ArrayLike = Union[np.ndarray, float, int, list, tuple]
+
+
+def _as_array(data: ArrayLike, dtype=None) -> np.ndarray:
+    if isinstance(data, np.ndarray):
+        arr = data
+        if dtype is not None and arr.dtype != dtype:
+            arr = arr.astype(dtype)
+        return arr
+    return np.asarray(data, dtype=dtype if dtype is not None else np.float64)
+
+
+def _unbroadcast(grad: np.ndarray, shape: Tuple[int, ...]) -> np.ndarray:
+    """Reduce ``grad`` so its shape matches ``shape`` (reverse of broadcasting)."""
+    if grad.shape == shape:
+        return grad
+    # Sum over leading dimensions that were added by broadcasting.
+    extra = grad.ndim - len(shape)
+    if extra > 0:
+        grad = grad.sum(axis=tuple(range(extra)))
+    # Sum over dimensions that were 1 in the original shape.
+    axes = tuple(i for i, s in enumerate(shape) if s == 1 and grad.shape[i] != 1)
+    if axes:
+        grad = grad.sum(axis=axes, keepdims=True)
+    return grad.reshape(shape)
+
+
+# ---------------------------------------------------------------------------
+# Tensor
+# ---------------------------------------------------------------------------
+
+
+class Tensor:
+    """A numpy-backed tensor that supports reverse-mode autodiff.
+
+    Parameters
+    ----------
+    data:
+        Array-like payload.  Stored as ``numpy.ndarray`` (float64 by default
+        for numerical robustness of gradient checks; models may down-cast).
+    requires_grad:
+        Whether gradients should be accumulated into :attr:`grad` during
+        :meth:`backward`.
+    """
+
+    __slots__ = ("data", "grad", "requires_grad", "_backward", "_prev", "_op")
+
+    def __init__(self, data: ArrayLike, requires_grad: bool = False, dtype=None):
+        self.data: np.ndarray = _as_array(data, dtype)
+        self.requires_grad: bool = bool(requires_grad) and _GRAD_ENABLED
+        self.grad: Optional[np.ndarray] = None
+        self._backward: Optional[Callable[[], None]] = None
+        self._prev: Tuple["Tensor", ...] = ()
+        self._op: str = ""
+
+    # -- construction helpers ------------------------------------------------
+
+    @staticmethod
+    def zeros(*shape: int, requires_grad: bool = False) -> "Tensor":
+        return Tensor(np.zeros(shape), requires_grad=requires_grad)
+
+    @staticmethod
+    def ones(*shape: int, requires_grad: bool = False) -> "Tensor":
+        return Tensor(np.ones(shape), requires_grad=requires_grad)
+
+    @staticmethod
+    def randn(*shape: int, rng: Optional[np.random.Generator] = None,
+              scale: float = 1.0, requires_grad: bool = False) -> "Tensor":
+        rng = rng if rng is not None else np.random.default_rng()
+        return Tensor(rng.standard_normal(shape) * scale, requires_grad=requires_grad)
+
+    @staticmethod
+    def ensure(value: Union["Tensor", ArrayLike]) -> "Tensor":
+        """Coerce ``value`` to a Tensor (no-op when it already is one)."""
+        return value if isinstance(value, Tensor) else Tensor(value)
+
+    # -- introspection ---------------------------------------------------------
+
+    @property
+    def shape(self) -> Tuple[int, ...]:
+        return self.data.shape
+
+    @property
+    def ndim(self) -> int:
+        return self.data.ndim
+
+    @property
+    def size(self) -> int:
+        return self.data.size
+
+    @property
+    def dtype(self):
+        return self.data.dtype
+
+    @property
+    def T(self) -> "Tensor":
+        return self.transpose()
+
+    def numpy(self) -> np.ndarray:
+        """Return the underlying array (detached view)."""
+        return self.data
+
+    def item(self) -> float:
+        return float(self.data.reshape(-1)[0]) if self.data.size == 1 else float(self.data)
+
+    def detach(self) -> "Tensor":
+        """Return a new tensor sharing data but cut off from the graph."""
+        return Tensor(self.data, requires_grad=False)
+
+    def copy(self) -> "Tensor":
+        return Tensor(self.data.copy(), requires_grad=self.requires_grad)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"Tensor(shape={self.shape}, requires_grad={self.requires_grad}, "
+                f"op={self._op or 'leaf'})")
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+    # -- graph plumbing --------------------------------------------------------
+
+    def _make(self, data: np.ndarray, parents: Sequence["Tensor"], op: str) -> "Tensor":
+        """Create a result tensor wired into the graph when grads are enabled."""
+        req = _GRAD_ENABLED and any(p.requires_grad for p in parents)
+        out = Tensor(data, requires_grad=req)
+        if req:
+            out._prev = tuple(parents)
+            out._op = op
+        return out
+
+    def _accumulate(self, grad: np.ndarray) -> None:
+        """Accumulate ``grad`` into ``self.grad`` (allocating lazily)."""
+        if not self.requires_grad:
+            return
+        if self.grad is None:
+            self.grad = np.zeros_like(self.data, dtype=np.float64)
+        self.grad += grad
+
+    def zero_grad(self) -> None:
+        """Reset the accumulated gradient to ``None``."""
+        self.grad = None
+
+    def backward(self, grad: Optional[ArrayLike] = None) -> None:
+        """Back-propagate from this tensor through the recorded graph.
+
+        Parameters
+        ----------
+        grad:
+            Incoming gradient.  Defaults to ``1`` which requires the tensor
+            to be a scalar (the usual loss case).
+        """
+        if grad is None:
+            if self.data.size != 1:
+                raise ValueError("backward() without a gradient argument requires a scalar tensor")
+            grad = np.ones_like(self.data, dtype=np.float64)
+        else:
+            grad = _as_array(grad, np.float64)
+            if grad.shape != self.data.shape:
+                grad = np.broadcast_to(grad, self.data.shape).astype(np.float64)
+
+        # Topological sort of the graph reachable from ``self``.
+        topo: List[Tensor] = []
+        visited = set()
+        stack: List[Tuple[Tensor, bool]] = [(self, False)]
+        while stack:
+            node, processed = stack.pop()
+            if processed:
+                topo.append(node)
+                continue
+            if id(node) in visited:
+                continue
+            visited.add(id(node))
+            stack.append((node, True))
+            for parent in node._prev:
+                if id(parent) not in visited:
+                    stack.append((parent, False))
+
+        self._accumulate(grad)
+        for node in reversed(topo):
+            if node._backward is not None and node.grad is not None:
+                node._backward()
+
+    # -- arithmetic -------------------------------------------------------------
+
+    def __add__(self, other: Union["Tensor", ArrayLike]) -> "Tensor":
+        other = Tensor.ensure(other)
+        out = self._make(self.data + other.data, (self, other), "add")
+        if out.requires_grad:
+            def _backward():
+                if self.requires_grad:
+                    self._accumulate(_unbroadcast(out.grad, self.shape))
+                if other.requires_grad:
+                    other._accumulate(_unbroadcast(out.grad, other.shape))
+            out._backward = _backward
+        return out
+
+    def __radd__(self, other):
+        return self.__add__(other)
+
+    def __sub__(self, other: Union["Tensor", ArrayLike]) -> "Tensor":
+        other = Tensor.ensure(other)
+        out = self._make(self.data - other.data, (self, other), "sub")
+        if out.requires_grad:
+            def _backward():
+                if self.requires_grad:
+                    self._accumulate(_unbroadcast(out.grad, self.shape))
+                if other.requires_grad:
+                    other._accumulate(_unbroadcast(-out.grad, other.shape))
+            out._backward = _backward
+        return out
+
+    def __rsub__(self, other):
+        return Tensor.ensure(other).__sub__(self)
+
+    def __neg__(self) -> "Tensor":
+        out = self._make(-self.data, (self,), "neg")
+        if out.requires_grad:
+            def _backward():
+                self._accumulate(-out.grad)
+            out._backward = _backward
+        return out
+
+    def __mul__(self, other: Union["Tensor", ArrayLike]) -> "Tensor":
+        other = Tensor.ensure(other)
+        out = self._make(self.data * other.data, (self, other), "mul")
+        if out.requires_grad:
+            def _backward():
+                if self.requires_grad:
+                    self._accumulate(_unbroadcast(out.grad * other.data, self.shape))
+                if other.requires_grad:
+                    other._accumulate(_unbroadcast(out.grad * self.data, other.shape))
+            out._backward = _backward
+        return out
+
+    def __rmul__(self, other):
+        return self.__mul__(other)
+
+    def __truediv__(self, other: Union["Tensor", ArrayLike]) -> "Tensor":
+        other = Tensor.ensure(other)
+        out = self._make(self.data / other.data, (self, other), "div")
+        if out.requires_grad:
+            def _backward():
+                if self.requires_grad:
+                    self._accumulate(_unbroadcast(out.grad / other.data, self.shape))
+                if other.requires_grad:
+                    other._accumulate(_unbroadcast(-out.grad * self.data / (other.data ** 2),
+                                                   other.shape))
+            out._backward = _backward
+        return out
+
+    def __rtruediv__(self, other):
+        return Tensor.ensure(other).__truediv__(self)
+
+    def __pow__(self, exponent: float) -> "Tensor":
+        if not isinstance(exponent, (int, float)):
+            raise TypeError("only scalar exponents are supported")
+        out = self._make(self.data ** exponent, (self,), "pow")
+        if out.requires_grad:
+            def _backward():
+                self._accumulate(out.grad * exponent * self.data ** (exponent - 1))
+            out._backward = _backward
+        return out
+
+    def __matmul__(self, other: Union["Tensor", ArrayLike]) -> "Tensor":
+        other = Tensor.ensure(other)
+        out = self._make(self.data @ other.data, (self, other), "matmul")
+        if out.requires_grad:
+            a, b = self.data, other.data
+
+            def _backward():
+                g = out.grad
+                if self.requires_grad:
+                    if a.ndim == 1 and b.ndim == 1:
+                        ga = g * b
+                    elif b.ndim == 1:
+                        # a: (..., n, k) @ b: (k,) -> out: (..., n)
+                        ga = g[..., None] * b
+                    elif a.ndim == 1:
+                        # a: (k,), b: (..., k, m), out: (..., m)
+                        ga = np.einsum("...m,...km->k", g, b)
+                    else:
+                        # a: (..., n, k), b: (..., k, m)
+                        ga = g @ np.swapaxes(b, -1, -2)
+                    self._accumulate(_unbroadcast(ga, a.shape))
+                if other.requires_grad:
+                    if a.ndim == 1 and b.ndim == 1:
+                        gb = g * a
+                    elif a.ndim == 1:
+                        # a: (k,), b: (..., k, m), out: (..., m)
+                        gb = a[:, None] * g[..., None, :]
+                    elif b.ndim == 1:
+                        # a: (..., n, k), b: (k,), out: (..., n)
+                        gb = (a * g[..., None]).reshape(-1, a.shape[-1]).sum(axis=0)
+                    else:
+                        gb = np.swapaxes(a, -1, -2) @ g
+                    other._accumulate(_unbroadcast(gb, b.shape))
+            out._backward = _backward
+        return out
+
+    # comparisons produce plain boolean arrays (no gradient)
+    def __gt__(self, other):
+        other = other.data if isinstance(other, Tensor) else other
+        return self.data > other
+
+    def __lt__(self, other):
+        other = other.data if isinstance(other, Tensor) else other
+        return self.data < other
+
+    def __ge__(self, other):
+        other = other.data if isinstance(other, Tensor) else other
+        return self.data >= other
+
+    def __le__(self, other):
+        other = other.data if isinstance(other, Tensor) else other
+        return self.data <= other
+
+    # -- reductions --------------------------------------------------------------
+
+    def sum(self, axis: Optional[Union[int, Tuple[int, ...]]] = None,
+            keepdims: bool = False) -> "Tensor":
+        out = self._make(self.data.sum(axis=axis, keepdims=keepdims), (self,), "sum")
+        if out.requires_grad:
+            def _backward():
+                g = out.grad
+                if axis is not None and not keepdims:
+                    g = np.expand_dims(g, axis=axis)
+                self._accumulate(np.broadcast_to(g, self.shape).astype(np.float64))
+            out._backward = _backward
+        return out
+
+    def mean(self, axis: Optional[Union[int, Tuple[int, ...]]] = None,
+             keepdims: bool = False) -> "Tensor":
+        out = self._make(self.data.mean(axis=axis, keepdims=keepdims), (self,), "mean")
+        if out.requires_grad:
+            if axis is None:
+                count = self.data.size
+            else:
+                axes = (axis,) if isinstance(axis, int) else axis
+                count = int(np.prod([self.shape[a] for a in axes]))
+
+            def _backward():
+                g = out.grad
+                if axis is not None and not keepdims:
+                    g = np.expand_dims(g, axis=axis)
+                self._accumulate(np.broadcast_to(g, self.shape).astype(np.float64) / count)
+            out._backward = _backward
+        return out
+
+    def max(self, axis: Optional[int] = None, keepdims: bool = False) -> "Tensor":
+        data = self.data.max(axis=axis, keepdims=keepdims)
+        out = self._make(data, (self,), "max")
+        if out.requires_grad:
+            def _backward():
+                g = out.grad
+                d = data
+                if axis is not None and not keepdims:
+                    g = np.expand_dims(g, axis=axis)
+                    d = np.expand_dims(d, axis=axis)
+                mask = (self.data == d).astype(np.float64)
+                mask /= np.maximum(mask.sum(axis=axis, keepdims=True) if axis is not None
+                                   else mask.sum(), 1.0)
+                self._accumulate(mask * g)
+            out._backward = _backward
+        return out
+
+    # -- shape ops ------------------------------------------------------------------
+
+    def reshape(self, *shape: int) -> "Tensor":
+        if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
+            shape = tuple(shape[0])
+        out = self._make(self.data.reshape(shape), (self,), "reshape")
+        if out.requires_grad:
+            def _backward():
+                self._accumulate(out.grad.reshape(self.shape))
+            out._backward = _backward
+        return out
+
+    def transpose(self, *axes: int) -> "Tensor":
+        if not axes:
+            axes_t = tuple(reversed(range(self.ndim)))
+        elif len(axes) == 1 and isinstance(axes[0], (tuple, list)):
+            axes_t = tuple(axes[0])
+        else:
+            axes_t = tuple(axes)
+        out = self._make(self.data.transpose(axes_t), (self,), "transpose")
+        if out.requires_grad:
+            inverse = tuple(np.argsort(axes_t))
+
+            def _backward():
+                self._accumulate(out.grad.transpose(inverse))
+            out._backward = _backward
+        return out
+
+    def swapaxes(self, a: int, b: int) -> "Tensor":
+        axes = list(range(self.ndim))
+        axes[a], axes[b] = axes[b], axes[a]
+        return self.transpose(*axes)
+
+    def __getitem__(self, index) -> "Tensor":
+        out = self._make(self.data[index], (self,), "getitem")
+        if out.requires_grad:
+            def _backward():
+                grad = np.zeros_like(self.data, dtype=np.float64)
+                np.add.at(grad, index, out.grad)
+                self._accumulate(grad)
+            out._backward = _backward
+        return out
+
+    def expand_dims(self, axis: int) -> "Tensor":
+        out = self._make(np.expand_dims(self.data, axis), (self,), "expand_dims")
+        if out.requires_grad:
+            def _backward():
+                self._accumulate(np.squeeze(out.grad, axis=axis))
+            out._backward = _backward
+        return out
+
+    def squeeze(self, axis: Optional[int] = None) -> "Tensor":
+        out = self._make(np.squeeze(self.data, axis=axis), (self,), "squeeze")
+        if out.requires_grad:
+            def _backward():
+                self._accumulate(out.grad.reshape(self.shape))
+            out._backward = _backward
+        return out
+
+    def broadcast_to(self, shape: Tuple[int, ...]) -> "Tensor":
+        out = self._make(np.broadcast_to(self.data, shape).copy(), (self,), "broadcast_to")
+        if out.requires_grad:
+            def _backward():
+                self._accumulate(_unbroadcast(out.grad, self.shape))
+            out._backward = _backward
+        return out
+
+    # -- elementwise non-linearities -------------------------------------------------
+
+    def exp(self) -> "Tensor":
+        data = np.exp(self.data)
+        out = self._make(data, (self,), "exp")
+        if out.requires_grad:
+            def _backward():
+                self._accumulate(out.grad * data)
+            out._backward = _backward
+        return out
+
+    def log(self) -> "Tensor":
+        out = self._make(np.log(self.data), (self,), "log")
+        if out.requires_grad:
+            def _backward():
+                self._accumulate(out.grad / self.data)
+            out._backward = _backward
+        return out
+
+    def sqrt(self) -> "Tensor":
+        data = np.sqrt(self.data)
+        out = self._make(data, (self,), "sqrt")
+        if out.requires_grad:
+            def _backward():
+                self._accumulate(out.grad * 0.5 / np.maximum(data, 1e-12))
+            out._backward = _backward
+        return out
+
+    def abs(self) -> "Tensor":
+        out = self._make(np.abs(self.data), (self,), "abs")
+        if out.requires_grad:
+            def _backward():
+                self._accumulate(out.grad * np.sign(self.data))
+            out._backward = _backward
+        return out
+
+    def cos(self) -> "Tensor":
+        out = self._make(np.cos(self.data), (self,), "cos")
+        if out.requires_grad:
+            def _backward():
+                self._accumulate(-out.grad * np.sin(self.data))
+            out._backward = _backward
+        return out
+
+    def sin(self) -> "Tensor":
+        out = self._make(np.sin(self.data), (self,), "sin")
+        if out.requires_grad:
+            def _backward():
+                self._accumulate(out.grad * np.cos(self.data))
+            out._backward = _backward
+        return out
+
+    def tanh(self) -> "Tensor":
+        data = np.tanh(self.data)
+        out = self._make(data, (self,), "tanh")
+        if out.requires_grad:
+            def _backward():
+                self._accumulate(out.grad * (1.0 - data ** 2))
+            out._backward = _backward
+        return out
+
+    def sigmoid(self) -> "Tensor":
+        data = 1.0 / (1.0 + np.exp(-self.data))
+        out = self._make(data, (self,), "sigmoid")
+        if out.requires_grad:
+            def _backward():
+                self._accumulate(out.grad * data * (1.0 - data))
+            out._backward = _backward
+        return out
+
+    def relu(self) -> "Tensor":
+        mask = self.data > 0
+        out = self._make(self.data * mask, (self,), "relu")
+        if out.requires_grad:
+            def _backward():
+                self._accumulate(out.grad * mask)
+            out._backward = _backward
+        return out
+
+    def leaky_relu(self, negative_slope: float = 0.2) -> "Tensor":
+        mask = self.data > 0
+        data = np.where(mask, self.data, self.data * negative_slope)
+        out = self._make(data, (self,), "leaky_relu")
+        if out.requires_grad:
+            def _backward():
+                self._accumulate(out.grad * np.where(mask, 1.0, negative_slope))
+            out._backward = _backward
+        return out
+
+    def gelu(self) -> "Tensor":
+        """GELU with the sigmoid approximation ``x * sigmoid(1.702 x)``.
+
+        The sigmoid form (Hendrycks & Gimpel, 2016) is within 1e-2 of the
+        exact GELU and costs a single ``exp`` per element, which matters here
+        because the MLP-Mixer blocks apply it to the largest activations in
+        the model.
+        """
+        x = self.data
+        s = 1.0 / (1.0 + np.exp(-1.702 * x))
+        data = x * s
+        out = self._make(data, (self,), "gelu")
+        if out.requires_grad:
+            def _backward():
+                self._accumulate(out.grad * (s + 1.702 * x * s * (1.0 - s)))
+            out._backward = _backward
+        return out
+
+    def clip(self, low: float, high: float) -> "Tensor":
+        data = np.clip(self.data, low, high)
+        out = self._make(data, (self,), "clip")
+        if out.requires_grad:
+            mask = (self.data >= low) & (self.data <= high)
+
+            def _backward():
+                self._accumulate(out.grad * mask)
+            out._backward = _backward
+        return out
+
+    # -- reductions along neighbourhood axes used by aggregators ----------------------
+
+    def softmax(self, axis: int = -1) -> "Tensor":
+        shifted = self.data - self.data.max(axis=axis, keepdims=True)
+        e = np.exp(shifted)
+        data = e / e.sum(axis=axis, keepdims=True)
+        out = self._make(data, (self,), "softmax")
+        if out.requires_grad:
+            def _backward():
+                g = out.grad
+                dot = (g * data).sum(axis=axis, keepdims=True)
+                self._accumulate(data * (g - dot))
+            out._backward = _backward
+        return out
+
+    def log_softmax(self, axis: int = -1) -> "Tensor":
+        shifted = self.data - self.data.max(axis=axis, keepdims=True)
+        lse = np.log(np.exp(shifted).sum(axis=axis, keepdims=True))
+        data = shifted - lse
+        out = self._make(data, (self,), "log_softmax")
+        if out.requires_grad:
+            soft = np.exp(data)
+
+            def _backward():
+                g = out.grad
+                self._accumulate(g - soft * g.sum(axis=axis, keepdims=True))
+            out._backward = _backward
+        return out
+
+
+# ---------------------------------------------------------------------------
+# free functions over Tensors
+# ---------------------------------------------------------------------------
+
+
+def concatenate(tensors: Sequence[Tensor], axis: int = -1) -> Tensor:
+    """Concatenate tensors along ``axis`` with gradient routing back to each."""
+    tensors = [Tensor.ensure(t) for t in tensors]
+    data = np.concatenate([t.data for t in tensors], axis=axis)
+    req = _GRAD_ENABLED and any(t.requires_grad for t in tensors)
+    out = Tensor(data, requires_grad=req)
+    if req:
+        out._prev = tuple(tensors)
+        out._op = "concatenate"
+        sizes = [t.data.shape[axis] for t in tensors]
+        offsets = np.cumsum([0] + sizes)
+
+        def _backward():
+            for t, start, stop in zip(tensors, offsets[:-1], offsets[1:]):
+                if t.requires_grad:
+                    idx = [slice(None)] * data.ndim
+                    idx[axis] = slice(int(start), int(stop))
+                    t._accumulate(out.grad[tuple(idx)])
+        out._backward = _backward
+    return out
+
+
+def stack(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
+    """Stack tensors along a new ``axis``."""
+    tensors = [Tensor.ensure(t) for t in tensors]
+    data = np.stack([t.data for t in tensors], axis=axis)
+    req = _GRAD_ENABLED and any(t.requires_grad for t in tensors)
+    out = Tensor(data, requires_grad=req)
+    if req:
+        out._prev = tuple(tensors)
+        out._op = "stack"
+
+        def _backward():
+            grads = np.moveaxis(out.grad, axis, 0)
+            for t, g in zip(tensors, grads):
+                if t.requires_grad:
+                    t._accumulate(g)
+        out._backward = _backward
+    return out
+
+
+def where(condition: np.ndarray, a: Tensor, b: Tensor) -> Tensor:
+    """Element-wise select; ``condition`` is a plain boolean array."""
+    a, b = Tensor.ensure(a), Tensor.ensure(b)
+    cond = condition.data if isinstance(condition, Tensor) else np.asarray(condition)
+    data = np.where(cond, a.data, b.data)
+    req = _GRAD_ENABLED and (a.requires_grad or b.requires_grad)
+    out = Tensor(data, requires_grad=req)
+    if req:
+        out._prev = (a, b)
+        out._op = "where"
+
+        def _backward():
+            if a.requires_grad:
+                a._accumulate(_unbroadcast(out.grad * cond, a.shape))
+            if b.requires_grad:
+                b._accumulate(_unbroadcast(out.grad * (~cond), b.shape))
+        out._backward = _backward
+    return out

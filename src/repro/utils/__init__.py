@@ -1,0 +1,17 @@
+"""Shared utilities: deterministic RNG management, timing, logging, config."""
+
+from .rng import RngMixin, new_rng, spawn_rngs, seed_everything
+from .timer import Timer, Stopwatch
+from .logging import get_logger
+from .config import asdict_shallow
+
+__all__ = [
+    "RngMixin",
+    "new_rng",
+    "spawn_rngs",
+    "seed_everything",
+    "Timer",
+    "Stopwatch",
+    "get_logger",
+    "asdict_shallow",
+]

@@ -1,0 +1,19 @@
+"""Small helpers for dataclass-based configuration objects."""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Dict
+
+__all__ = ["asdict_shallow"]
+
+
+def asdict_shallow(obj: Any) -> Dict[str, Any]:
+    """Shallow ``asdict`` for dataclasses (does not recurse into fields).
+
+    ``dataclasses.asdict`` deep-copies numpy arrays which is both slow and
+    unnecessary for logging configuration values.
+    """
+    if not dataclasses.is_dataclass(obj):
+        raise TypeError(f"{obj!r} is not a dataclass instance")
+    return {f.name: getattr(obj, f.name) for f in dataclasses.fields(obj)}

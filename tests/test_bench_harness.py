@@ -1,0 +1,78 @@
+"""Tests for the benchmark harness and the runtime-breakdown tooling."""
+
+import numpy as np
+import pytest
+
+from repro.bench import (VARIANTS, format_table, geometric_mean, quick_config,
+                         variant_config, run_variant, system_configurations)
+from repro.bench.breakdown import BreakdownRow, runtime_breakdown
+from repro.graph import CTDGConfig, generate_ctdg
+
+
+class TestHarnessConfig:
+    def test_variants_cover_table1_rows(self):
+        assert set(VARIANTS) == {"Baseline", "w/ Ada. Mini-Batch",
+                                 "w/ Ada. Neighbor", "TASER"}
+
+    def test_variant_config_flags(self):
+        cfg = variant_config("w/ Ada. Neighbor", "tgat")
+        assert not cfg.adaptive_minibatch and cfg.adaptive_neighbor
+        cfg = variant_config("TASER", "graphmixer", epochs=2)
+        assert cfg.adaptive_minibatch and cfg.adaptive_neighbor and cfg.epochs == 2
+        with pytest.raises(ValueError):
+            variant_config("TGL", "tgat")
+
+    def test_quick_config_overrides(self):
+        cfg = quick_config("tgat", hidden_dim=8, num_neighbors=3, num_candidates=6)
+        assert cfg.backbone == "tgat" and cfg.hidden_dim == 8
+
+    def test_run_variant_with_injected_graph(self):
+        graph = generate_ctdg(CTDGConfig(num_src=30, num_dst=20, num_events=600,
+                                         edge_dim=8, seed=1))
+        result = run_variant("wikipedia", "Baseline", "graphmixer", graph=graph,
+                             epochs=1, max_batches_per_epoch=2, hidden_dim=8,
+                             time_dim=4, num_neighbors=3, num_candidates=6,
+                             eval_max_edges=20, eval_negatives=5)
+        assert result.variant == "Baseline"
+        assert 0.0 <= result.test_mrr <= 1.0
+
+
+class TestFormatting:
+    def test_format_table_alignment_and_missing(self):
+        rows = {"A": {"x": 1.0, "y": 2.0}, "B": {"x": 3.0}}
+        text = format_table(rows, value_format="{:.1f}", title="T")
+        assert "T" in text and "1.0" in text and "3.0" in text and "-" in text
+
+    def test_geometric_mean(self):
+        assert geometric_mean([1.0, 4.0]) == pytest.approx(2.0)
+        assert np.isnan(geometric_mean([]))
+        assert np.isnan(geometric_mean([1.0, 0.0]))
+
+
+class TestBreakdown:
+    def test_row_properties(self):
+        row = BreakdownRow(label="x", nf=1.0, adaptive=0.5, fs=1.5, pp=1.0)
+        assert row.total == pytest.approx(4.0)
+        assert row.minibatch_generation_fraction == pytest.approx(2.5 / 4.0)
+        assert set(row.as_dict()) == {"NF", "AS", "FS", "PP", "Total"}
+
+    def test_system_configurations_rows(self):
+        base = quick_config("graphmixer")
+        rows = system_configurations(base)
+        labels = [label for label, _ in rows]
+        assert labels == ["Baseline", "+GPU NF", "+10% Cache", "+20% Cache", "+30% Cache"]
+        assert rows[0][1].finder == "original" and rows[0][1].cache_ratio == 0.0
+        assert rows[-1][1].cache_ratio == pytest.approx(0.3)
+
+    def test_runtime_breakdown_scaling(self):
+        graph = generate_ctdg(CTDGConfig(num_src=30, num_dst=20, num_events=600,
+                                         edge_dim=8, seed=2))
+        config = quick_config("graphmixer", adaptive_minibatch=False,
+                              adaptive_neighbor=False, epochs=1,
+                              max_batches_per_epoch=2, hidden_dim=8, time_dim=4,
+                              num_neighbors=3, num_candidates=6, eval_max_edges=10)
+        slow = runtime_breakdown(graph, config, "x", device_speedup=1.0)
+        fast = runtime_breakdown(graph, config, "x", device_speedup=100.0)
+        assert fast.pp < slow.pp
+        with pytest.raises(ValueError):
+            runtime_breakdown(graph, config, "x", device_speedup=0.0)

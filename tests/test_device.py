@@ -1,0 +1,180 @@
+"""Tests for the simulated memory hierarchy: caches, feature store, cost model."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.device import (TransferCostModel, DynamicFeatureCache, OracleCache,
+                          StaticRandomCache, StaticDegreeCache, FeatureStore)
+
+
+class TestCostModel:
+    def test_monotone_in_bytes(self):
+        cm = TransferCostModel()
+        assert cm.pcie_time(2e6) > cm.pcie_time(1e6) > 0
+        assert cm.vram_time(2e6) > cm.vram_time(1e6) > 0
+
+    def test_vram_faster_than_pcie(self):
+        cm = TransferCostModel()
+        assert cm.vram_time(1e7) < cm.pcie_time(1e7)
+
+    def test_negative_bytes_rejected(self):
+        cm = TransferCostModel()
+        with pytest.raises(ValueError):
+            cm.pcie_time(-1)
+        with pytest.raises(ValueError):
+            cm.vram_time(-1)
+
+
+class TestDynamicCache:
+    def make_stream(self, num_edges=500, hot=50, length=4000, seed=0):
+        """Skewed access stream: `hot` edges receive ~80% of accesses."""
+        rng = np.random.default_rng(seed)
+        hot_ids = rng.choice(num_edges, hot, replace=False)
+        accesses = np.where(rng.random(length) < 0.8,
+                            rng.choice(hot_ids, length),
+                            rng.integers(0, num_edges, length))
+        return accesses
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            DynamicFeatureCache(10, 20)
+
+    def test_epsilon_validation(self):
+        with pytest.raises(ValueError):
+            DynamicFeatureCache(10, 5, epsilon=2.0)
+
+    def test_hit_rate_improves_after_first_epoch(self):
+        """Algorithm 3: the random initial cache is replaced by the frequent set."""
+        cache = DynamicFeatureCache(500, 100, epsilon=0.9, seed=0)
+        stream = self.make_stream()
+        for _ in range(3):
+            for start in range(0, stream.size, 200):
+                cache.lookup(stream[start:start + 200])
+            cache.end_epoch()
+        rates = cache.hit_rate_history
+        assert rates[-1] > rates[0] + 0.2
+        assert cache.replacement_count >= 1
+
+    def test_no_replacement_when_overlap_high(self):
+        """Once the cache holds the hot set, further epochs do not churn it."""
+        cache = DynamicFeatureCache(500, 100, epsilon=0.5, seed=0)
+        stream = self.make_stream()
+        for _ in range(4):
+            cache.lookup(stream)
+            cache.end_epoch()
+        replacements_mid = cache.replacement_count
+        for _ in range(3):
+            cache.lookup(stream)
+            cache.end_epoch()
+        assert cache.replacement_count == replacements_mid
+
+    def test_zero_capacity_never_hits(self):
+        cache = DynamicFeatureCache(100, 0)
+        hits = cache.lookup(np.arange(50))
+        assert not hits.any()
+        cache.end_epoch()
+        assert cache.hit_rate_history == [0.0]
+
+    def test_cached_set_size_never_exceeds_capacity(self):
+        cache = DynamicFeatureCache(300, 40, seed=1)
+        stream = self.make_stream(num_edges=300)
+        for _ in range(3):
+            cache.lookup(stream)
+            cache.end_epoch()
+            assert cache.cached.sum() <= 40
+
+    def test_oracle_upper_bounds_dynamic(self):
+        """The clairvoyant cache must achieve at least the dynamic cache's hit rate."""
+        stream = self.make_stream(seed=3)
+        dynamic = DynamicFeatureCache(500, 80, seed=3)
+        oracle = OracleCache(500, 80)
+        for _ in range(4):
+            oracle.preload(stream)
+            dynamic.lookup(stream)
+            oracle.lookup(stream)
+            dynamic.end_epoch()
+            oracle.end_epoch()
+        assert oracle.hit_rate_history[-1] >= dynamic.hit_rate_history[-1] - 1e-9
+
+    def test_static_caches(self):
+        src = np.random.default_rng(0).integers(0, 20, 200)
+        dst = np.random.default_rng(1).integers(0, 20, 200)
+        random_cache = StaticRandomCache(200, 50, seed=0)
+        degree_cache = StaticDegreeCache(200, 50, src, dst, 20)
+        assert random_cache.cached.sum() == 50
+        assert degree_cache.cached.sum() == 50
+        random_cache.lookup(np.arange(200))
+        random_cache.end_epoch()
+        # static policy: content unchanged after the epoch
+        assert random_cache.cached.sum() == 50
+
+
+@settings(max_examples=15, deadline=None)
+@given(capacity=st.integers(0, 60), seed=st.integers(0, 20))
+def test_property_dynamic_cache_hit_rate_bounded(capacity, seed):
+    """Hit rate is always in [0, 1] and the cached set never exceeds capacity."""
+    cache = DynamicFeatureCache(100, capacity, seed=seed)
+    rng = np.random.default_rng(seed)
+    for _ in range(3):
+        cache.lookup(rng.integers(0, 100, 500))
+        cache.end_epoch()
+        assert 0.0 <= cache.hit_rate_history[-1] <= 1.0
+        assert cache.cached.sum() <= capacity
+
+
+class TestFeatureStore:
+    def test_edge_slicing_shapes(self, small_graph):
+        store = FeatureStore(small_graph)
+        eids = np.arange(12).reshape(3, 4)
+        feats = store.slice_edge_features(eids)
+        assert feats.shape == (3, 4, small_graph.edge_dim)
+        assert np.allclose(feats, small_graph.edge_feat[eids])
+
+    def test_masked_rows_zeroed_and_not_accounted(self, small_graph):
+        store = FeatureStore(small_graph)
+        eids = np.arange(6).reshape(2, 3)
+        mask = np.array([[True, False, True], [False, False, False]])
+        feats = store.slice_edge_features(eids, mask)
+        assert np.allclose(feats[0, 1], 0)
+        assert np.allclose(feats[1], 0)
+        assert store.stats.cache_misses == 2  # only the valid requests
+
+    def test_no_edge_features_returns_none(self, featured_graph):
+        graph = featured_graph
+        node_only = graph.select_events(np.arange(graph.num_edges))
+        node_only.edge_feat = None
+        store = FeatureStore(node_only)
+        assert store.slice_edge_features(np.zeros((2, 2), dtype=int)) is None
+
+    def test_node_slicing_uses_vram(self, featured_graph):
+        store = FeatureStore(featured_graph)
+        store.slice_node_features(np.arange(10))
+        assert store.stats.bytes_from_vram > 0
+        assert store.stats.bytes_from_ram == 0
+
+    def test_cache_reduces_pcie_bytes_and_time(self, small_graph):
+        hot = np.arange(100)
+        no_cache = FeatureStore(small_graph)
+        cached = FeatureStore(small_graph,
+                              edge_cache=DynamicFeatureCache(small_graph.num_edges,
+                                                             200, seed=0))
+        for _ in range(3):
+            no_cache.slice_edge_features(hot)
+            cached.slice_edge_features(hot)
+            no_cache.end_epoch()
+            cached.end_epoch()
+        # warm epochs: the cached store should move fewer bytes over PCIe
+        no_cache.reset_stats()
+        cached.reset_stats()
+        no_cache.slice_edge_features(hot)
+        cached.slice_edge_features(hot)
+        assert cached.stats.bytes_from_ram < no_cache.stats.bytes_from_ram
+        assert cached.stats.simulated_seconds < no_cache.stats.simulated_seconds
+
+    def test_stats_reset(self, small_graph):
+        store = FeatureStore(small_graph)
+        store.slice_edge_features(np.arange(5))
+        store.reset_stats()
+        assert store.stats.requests == 0
+        assert store.stats.simulated_seconds == 0.0

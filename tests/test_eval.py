@@ -1,0 +1,95 @@
+"""Tests for ranking metrics and negative sampling."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.eval import (reciprocal_ranks, mrr, hits_at_k, ranking_report,
+                        destination_pool, NegativeSampler)
+from repro.graph import CTDGConfig, generate_ctdg
+
+
+class TestMetrics:
+    def test_perfect_ranking(self):
+        pos = np.array([10.0, 10.0])
+        neg = np.zeros((2, 5))
+        assert mrr(pos, neg) == 1.0
+        assert hits_at_k(pos, neg, 1) == 1.0
+
+    def test_worst_ranking(self):
+        pos = np.array([0.0])
+        neg = np.full((1, 9), 5.0)
+        assert mrr(pos, neg) == pytest.approx(0.1)
+        assert hits_at_k(pos, neg, 1) == 0.0
+
+    def test_middle_rank(self):
+        pos = np.array([5.0])
+        neg = np.array([[10.0, 1.0, 2.0, 3.0]])  # one negative above -> rank 2
+        assert mrr(pos, neg) == pytest.approx(0.5)
+
+    def test_ties_average(self):
+        pos = np.array([5.0])
+        neg = np.array([[5.0]])
+        assert reciprocal_ranks(pos, neg)[0] == pytest.approx(1.0 / 1.5)
+
+    def test_random_scores_expected_mrr(self):
+        """For random scores against K=49 negatives, MRR ~ H(50)/50 ~ 0.09."""
+        rng = np.random.default_rng(0)
+        pos = rng.standard_normal(3000)
+        neg = rng.standard_normal((3000, 49))
+        value = mrr(pos, neg)
+        expected = np.mean(1.0 / np.arange(1, 51))
+        assert abs(value - expected) < 0.01
+
+    def test_report_keys(self):
+        report = ranking_report(np.array([1.0]), np.array([[0.0, 2.0]]))
+        assert {"mrr", "hits@1", "hits@3", "hits@10"} == set(report)
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            reciprocal_ranks(np.zeros((2, 2)), np.zeros((2, 2)))
+        with pytest.raises(ValueError):
+            hits_at_k(np.zeros(2), np.zeros((2, 3)), 0)
+
+
+@settings(max_examples=25, deadline=None)
+@given(arrays(np.float64, (7,), elements=st.floats(-5, 5)),
+       arrays(np.float64, (7, 9), elements=st.floats(-5, 5)))
+def test_property_mrr_bounds_and_monotonicity(pos, neg):
+    value = mrr(pos, neg)
+    assert 1.0 / 10 - 1e-12 <= value <= 1.0 + 1e-12
+    # Increasing every positive score can never decrease the MRR.
+    assert mrr(pos + 1.0, neg) >= value - 1e-12
+
+
+class TestNegativeSampling:
+    def test_bipartite_pool_is_destination_partition(self, small_graph):
+        pool = destination_pool(small_graph)
+        n_src = small_graph.meta["num_src"]
+        assert pool.min() >= n_src
+        assert pool.size == small_graph.meta["num_dst"]
+
+    def test_unipartite_pool_observed_destinations(self):
+        g = generate_ctdg(CTDGConfig(num_src=20, num_dst=0, bipartite=False,
+                                     num_events=200, seed=0))
+        pool = destination_pool(g)
+        assert set(pool) == set(np.unique(g.dst))
+
+    def test_exclusion(self, small_graph):
+        sampler = NegativeSampler(small_graph, seed=0)
+        exclude = np.full(500, int(destination_pool(small_graph)[0]))
+        draws = sampler.sample(500, exclude=exclude)
+        assert (draws == exclude).mean() < 0.05
+
+    def test_matrix_shape(self, small_graph):
+        sampler = NegativeSampler(small_graph, seed=0)
+        mat = sampler.sample_matrix(8, 49, exclude=small_graph.dst[:8])
+        assert mat.shape == (8, 49)
+        pool = set(destination_pool(small_graph).tolist())
+        assert set(mat.reshape(-1).tolist()) <= pool
+
+    def test_determinism_by_seed(self, small_graph):
+        a = NegativeSampler(small_graph, seed=5).sample(100)
+        b = NegativeSampler(small_graph, seed=5).sample(100)
+        assert np.array_equal(a, b)

@@ -1,0 +1,80 @@
+"""Tests for graph serialisation and the command-line experiment runner."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main, run
+from repro.graph import CTDGConfig, generate_ctdg
+from repro.graph.io import save_graph, load_graph
+
+
+class TestGraphIO:
+    def test_roundtrip_preserves_events_and_features(self, tmp_path, small_graph):
+        path = save_graph(small_graph, tmp_path / "graph")
+        assert path.suffix == ".npz"
+        loaded = load_graph(path)
+        assert loaded.num_nodes == small_graph.num_nodes
+        assert np.array_equal(loaded.src, small_graph.src)
+        assert np.array_equal(loaded.dst, small_graph.dst)
+        assert np.allclose(loaded.ts, small_graph.ts)
+        assert np.allclose(loaded.edge_feat, small_graph.edge_feat)
+
+    def test_roundtrip_preserves_planted_metadata(self, tmp_path, small_graph):
+        loaded = load_graph(save_graph(small_graph, tmp_path / "meta.npz"))
+        assert np.array_equal(loaded.meta["event_is_noise"],
+                              small_graph.meta["event_is_noise"])
+        assert loaded.meta["bipartite"] == small_graph.meta["bipartite"]
+        assert isinstance(loaded.meta["config"], CTDGConfig)
+        assert loaded.meta["config"].num_events == small_graph.meta["config"].num_events
+
+    def test_roundtrip_node_features(self, tmp_path, featured_graph):
+        loaded = load_graph(save_graph(featured_graph, tmp_path / "feat.npz"))
+        assert np.allclose(loaded.node_feat, featured_graph.node_feat)
+
+    def test_graph_without_edge_features(self, tmp_path):
+        g = generate_ctdg(CTDGConfig(num_src=10, num_dst=5, num_events=50,
+                                     edge_dim=0, node_dim=4, seed=0))
+        loaded = load_graph(save_graph(g, tmp_path / "noedge.npz"))
+        assert loaded.edge_feat is None
+        assert loaded.node_feat is not None
+
+
+class TestCLI:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args([])
+        assert args.dataset == "wikipedia"
+        assert args.variant == "taser"
+
+    def test_parser_rejects_unknown_dataset(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["--dataset", "imaginary"])
+
+    def test_run_baseline_tiny(self):
+        args = build_parser().parse_args([
+            "--dataset", "wikipedia", "--scale", "0.05",
+            "--backbone", "graphmixer", "--variant", "baseline",
+            "--epochs", "1", "--max-batches-per-epoch", "2",
+            "--hidden-dim", "8", "--time-dim", "4",
+            "--num-neighbors", "3", "--num-candidates", "6",
+            "--eval-max-edges", "20", "--eval-negatives", "5",
+        ])
+        summary = run(args)
+        assert summary["variant"] == "Baseline"
+        assert 0.0 <= summary["test_mrr"] <= 1.0
+        assert "PP" in summary["runtime_breakdown_seconds"]
+
+    def test_main_json_output(self, capsys):
+        code = main([
+            "--scale", "0.05", "--variant", "ada-minibatch",
+            "--epochs", "1", "--max-batches-per-epoch", "2",
+            "--hidden-dim", "8", "--time-dim", "4",
+            "--num-neighbors", "3", "--num-candidates", "6",
+            "--eval-max-edges", "20", "--eval-negatives", "5",
+            "--json",
+        ])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["variant"] == "w/ Ada. Mini-Batch"
+        assert 0.0 <= payload["test_mrr"] <= 1.0

@@ -1,0 +1,81 @@
+"""Property-based tests (hypothesis) for the autograd engine."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.tensor import Tensor
+from repro.tensor.gradcheck import gradcheck
+
+finite_floats = st.floats(min_value=-3.0, max_value=3.0, allow_nan=False,
+                          allow_infinity=False)
+
+
+def small_matrix(rows=st.integers(1, 4), cols=st.integers(1, 4)):
+    return st.tuples(rows, cols).flatmap(
+        lambda shape: arrays(np.float64, shape, elements=finite_floats))
+
+
+@settings(max_examples=25, deadline=None)
+@given(small_matrix())
+def test_softmax_is_distribution(data):
+    probs = Tensor(data).softmax(axis=-1).data
+    assert np.all(probs >= 0)
+    assert np.allclose(probs.sum(axis=-1), 1.0)
+
+
+@settings(max_examples=25, deadline=None)
+@given(small_matrix())
+def test_sigmoid_symmetry(data):
+    x = Tensor(data)
+    assert np.allclose(x.sigmoid().data + (-x).sigmoid().data, 1.0)
+
+
+@settings(max_examples=25, deadline=None)
+@given(small_matrix(), small_matrix())
+def test_add_commutes_and_mul_distributes(a, b):
+    # Broadcast to a common shape by trimming to the smaller one.
+    rows = min(a.shape[0], b.shape[0])
+    cols = min(a.shape[1], b.shape[1])
+    a, b = a[:rows, :cols], b[:rows, :cols]
+    ta, tb = Tensor(a), Tensor(b)
+    assert np.allclose((ta + tb).data, (tb + ta).data)
+    assert np.allclose(((ta + tb) * 2.0).data, (ta * 2.0 + tb * 2.0).data)
+
+
+@settings(max_examples=20, deadline=None)
+@given(small_matrix())
+def test_sum_mean_consistency(data):
+    x = Tensor(data)
+    assert np.isclose(float(x.mean().data), float(x.sum().data) / data.size)
+
+
+@settings(max_examples=15, deadline=None)
+@given(arrays(np.float64, (3, 3), elements=finite_floats))
+def test_gradcheck_random_composite(data):
+    """The chain sigmoid(x) * tanh(x) + softmax always gradchecks."""
+    x = Tensor(data, requires_grad=True)
+    gradcheck(lambda a: (a.sigmoid() * a.tanh()).sum() + a.softmax(-1).sum(), [x],
+              atol=1e-3, rtol=1e-2)
+
+
+@settings(max_examples=20, deadline=None)
+@given(arrays(np.float64, (4, 3), elements=finite_floats),
+       arrays(np.float64, (3, 2), elements=finite_floats))
+def test_matmul_grad_shapes(a, b):
+    ta = Tensor(a, requires_grad=True)
+    tb = Tensor(b, requires_grad=True)
+    (ta @ tb).sum().backward()
+    assert ta.grad.shape == a.shape
+    assert tb.grad.shape == b.shape
+    # d(sum(AB))/dA = 1 @ B^T  (rows identical)
+    assert np.allclose(ta.grad, np.tile(b.sum(axis=1), (4, 1)))
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(1, 5), st.integers(1, 5))
+def test_backward_of_ones_like_sum_is_ones(rows, cols):
+    x = Tensor(np.random.default_rng(0).standard_normal((rows, cols)),
+               requires_grad=True)
+    x.sum().backward()
+    assert np.allclose(x.grad, np.ones((rows, cols)))
