@@ -11,7 +11,7 @@ exceeds Prop time at the larger budgets on both dataset profiles.
 
 import pytest
 
-from repro.bench import quick_config
+from repro.bench import emit_bench_json, quick_config
 from repro.bench.breakdown import runtime_breakdown
 
 NEIGHBOR_SWEEP = [5, 10, 15]
@@ -46,6 +46,7 @@ def test_fig1_tgat_runtime_breakdown_wikipedia(benchmark, wikipedia_graph):
     # ...and dominates the epoch at the largest budget (paper: 70-92%).
     assert rows[budgets[-1]]["PrepShare"] > 0.5
     benchmark.extra_info["rows"] = {str(k): v for k, v in rows.items()}
+    emit_bench_json("fig1_breakdown_wikipedia", benchmark.extra_info["rows"])
 
 
 @pytest.mark.paper("Figure 1")
@@ -60,3 +61,4 @@ def test_fig1_tgat_runtime_breakdown_reddit(benchmark, reddit_graph):
     assert rows[budgets[-1]]["Prep"] > rows[budgets[0]]["Prep"]
     assert rows[budgets[-1]]["PrepShare"] > 0.5
     benchmark.extra_info["rows"] = {str(k): v for k, v in rows.items()}
+    emit_bench_json("fig1_breakdown_reddit", benchmark.extra_info["rows"])

@@ -1,14 +1,19 @@
 """Benchmark harness: shared configuration and runtime-breakdown tooling."""
 
-from .harness import (bench_scale, bench_epochs, bench_datasets, quick_config,
-                      variant_config, VARIANTS, run_variant, format_table,
-                      geometric_mean)
+from .harness import (bench_scale, bench_epochs, bench_datasets, bench_engine,
+                      bench_output_dir, emit_bench_json, engine_mode_comparison,
+                      quick_config, variant_config, VARIANTS, run_variant,
+                      format_table, geometric_mean)
 from .breakdown import BreakdownRow, runtime_breakdown, system_configurations
 
 __all__ = [
     "bench_scale",
     "bench_epochs",
     "bench_datasets",
+    "bench_engine",
+    "bench_output_dir",
+    "emit_bench_json",
+    "engine_mode_comparison",
     "quick_config",
     "variant_config",
     "VARIANTS",

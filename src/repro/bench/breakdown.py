@@ -30,11 +30,39 @@ from typing import Dict, List, Optional, Sequence
 from ..core import TaserConfig, TaserTrainer
 from ..graph.temporal_graph import TemporalGraph
 
-__all__ = ["BreakdownRow", "runtime_breakdown", "system_configurations",
-           "DEVICE_COMPUTE_SPEEDUP"]
+__all__ = ["BreakdownRow", "normalise_runtime", "runtime_breakdown",
+           "system_configurations", "DEVICE_COMPUTE_SPEEDUP"]
 
 #: default numpy-CPU -> simulated-GPU conversion factor for dense compute.
 DEVICE_COMPUTE_SPEEDUP = 64.0
+
+
+def normalise_runtime(runtime: Dict[str, float], finder: str,
+                      device_speedup: float = DEVICE_COMPUTE_SPEEDUP
+                      ) -> Dict[str, float]:
+    """Convert one epoch's measured phase times to simulated device seconds.
+
+    Applies the module-docstring normalisation to a single
+    :attr:`~repro.core.trainer.EpochStats.runtime` dict: dense-compute phases
+    (PP, AS, and NF under the block-centric "gpu" finder) are divided by
+    ``device_speedup``; the host-side finders keep measured wall-clock and
+    feature slicing keeps its modelled transfer time plus the device-converted
+    gather time.
+    """
+    if device_speedup <= 0:
+        raise ValueError("device_speedup must be positive")
+    nf = runtime.get("NF", 0.0)
+    if finder == "gpu":
+        nf /= device_speedup
+    fs_transfer = runtime.get("FS_transfer", 0.0)
+    fs_measured = runtime.get("FS", 0.0) - fs_transfer
+    fs = fs_transfer + fs_measured / device_speedup
+    return {
+        "NF": nf,
+        "AS": runtime.get("AS", 0.0) / device_speedup,
+        "FS": fs,
+        "PP": runtime.get("PP", 0.0) / device_speedup,
+    }
 
 
 @dataclass
@@ -78,19 +106,14 @@ def runtime_breakdown(graph: TemporalGraph, config: TaserConfig, label: str,
         stats = trainer.train_epoch()
         for key in totals:
             totals[key] += stats.runtime.get(key, 0.0)
-    nf = totals["NF"] / epochs
-    if config.finder == "gpu":
-        nf /= device_speedup
     # FS = modelled PCIe/VRAM transfer time plus the measured gather compute
     # converted to device seconds (the gather kernel runs on the GPU in the
     # paper); the deterministic transfer component dominates, so the cache
     # effect is not drowned by wall-clock jitter of the CPU gather.
-    fs_measured = (totals["FS"] - totals["FS_transfer"]) / epochs
-    fs = totals["FS_transfer"] / epochs + fs_measured / device_speedup
-    return BreakdownRow(label=label, nf=nf,
-                        adaptive=totals["AS"] / epochs / device_speedup,
-                        fs=fs,
-                        pp=totals["PP"] / epochs / device_speedup)
+    per_epoch = {key: value / epochs for key, value in totals.items()}
+    phases = normalise_runtime(per_epoch, config.finder, device_speedup)
+    return BreakdownRow(label=label, nf=phases["NF"], adaptive=phases["AS"],
+                        fs=phases["FS"], pp=phases["PP"])
 
 
 def system_configurations(base: TaserConfig) -> List[tuple]:

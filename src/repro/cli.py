@@ -53,6 +53,13 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--num-candidates", type=int, default=10,
                         help="m: candidate neighbors pre-sampled by the finder")
     parser.add_argument("--finder", choices=["gpu", "original", "tgl"], default="gpu")
+    parser.add_argument("--batch-engine", choices=["sync", "prefetch", "aot"],
+                        default="sync",
+                        help="mini-batch engine: synchronous, background "
+                             "prefetching, or an ahead-of-time epoch sampling "
+                             "plan (all bitwise-identical under a fixed seed)")
+    parser.add_argument("--prefetch-depth", type=int, default=2,
+                        help="bounded-queue depth of the prefetch engine")
     parser.add_argument("--decoder", choices=["linear", "gat", "gatv2", "transformer"],
                         default="linear")
     parser.add_argument("--cache-ratio", type=float, default=0.2)
@@ -75,6 +82,7 @@ def run(args: argparse.Namespace) -> dict:
         hidden_dim=args.hidden_dim, time_dim=args.time_dim,
         num_neighbors=args.num_neighbors, num_candidates=args.num_candidates,
         finder=args.finder, decoder=args.decoder, cache_ratio=args.cache_ratio,
+        batch_engine=args.batch_engine, prefetch_depth=args.prefetch_depth,
         batch_size=args.batch_size, epochs=args.epochs,
         max_batches_per_epoch=args.max_batches_per_epoch,
         lr=args.lr, eval_negatives=args.eval_negatives,
@@ -89,6 +97,8 @@ def run(args: argparse.Namespace) -> dict:
         "variant": result.variant,
         "seed": args.seed,
         "epochs": args.epochs,
+        "batch_engine": args.batch_engine,
+        "batch_engine_effective": trainer.engine.effective_mode,
         "val_mrr": result.val_mrr,
         "test_mrr": result.test_mrr,
         "test_metrics": result.test_metrics,
@@ -111,6 +121,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if summary["val_mrr"] == summary["val_mrr"]:  # not NaN
         print(f"  val MRR        : {summary['val_mrr']:.4f}")
     print(f"  final loss     : {summary['final_model_loss']:.4f}")
+    print(f"  batch engine   : {summary['batch_engine']} "
+          f"(effective {summary['batch_engine_effective']})")
     breakdown = ", ".join(f"{k}={v:.2f}s"
                           for k, v in sorted(summary["runtime_breakdown_seconds"].items()))
     print(f"  runtime        : {breakdown}")

@@ -9,10 +9,22 @@ from .decoders import (NeighborDecoder, LinearDecoder, GATDecoder, GATv2Decoder,
 from .neighbor_sampler import AdaptiveNeighborSampler, NeighborSelection
 from .sample_loss import (sensitivity_sample_loss, tgat_analytic_sample_loss,
                           build_sample_loss)
-from .pipeline import MiniBatchGenerator
+from .pipeline import MiniBatchGenerator, CandidateSlice
+from .prefetcher import (PreparedBatch, BatchEngine, SyncBatchEngine,
+                         PrefetchBatchEngine, AOTBatchEngine, make_engine,
+                         plan_capability, ENGINE_MODES)
 from .trainer import TaserTrainer, TrainResult, EpochStats
 
 __all__ = [
+    "CandidateSlice",
+    "PreparedBatch",
+    "BatchEngine",
+    "SyncBatchEngine",
+    "PrefetchBatchEngine",
+    "AOTBatchEngine",
+    "make_engine",
+    "plan_capability",
+    "ENGINE_MODES",
     "TaserConfig",
     "MiniBatchSelector",
     "ChronologicalSelector",

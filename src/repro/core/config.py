@@ -82,6 +82,23 @@ class TaserConfig:
     #: gradient-norm clip (0 disables).
     grad_clip: float = 5.0
 
+    # -- mini-batch engine ----------------------------------------------------------
+    #: how mini-batches are generated relative to model compute:
+    #: "sync"      generate each batch inside the training loop (reference),
+    #: "prefetch"  a background producer thread generates batches ahead of the
+    #:             consumer through a bounded queue, overlapping NF/FS with PP,
+    #: "aot"       an ahead-of-time sampling plan vectorises neighbor finding
+    #:             for the whole epoch's batches in one pass over the T-CSR
+    #:             before training starts.
+    #: All three modes produce bitwise-identical batches under a fixed seed;
+    #: configurations whose batch content depends on per-batch training
+    #: feedback (adaptive mini-batch selection, and adaptive neighbor sampling
+    #: beyond the first hop under a stochastic finder policy) transparently
+    #: fall back to synchronous generation.
+    batch_engine: str = "sync"
+    #: bounded-queue depth of the "prefetch" engine (batches generated ahead).
+    prefetch_depth: int = 2
+
     # -- memory hierarchy ---------------------------------------------------------------
     #: fraction of edge features cached in simulated VRAM (0 disables the cache).
     cache_ratio: float = 0.2
@@ -110,6 +127,10 @@ class TaserConfig:
             raise ValueError("num_candidates (m) must be >= num_neighbors (n)")
         if not 0.0 <= self.cache_ratio <= 1.0:
             raise ValueError("cache_ratio must be in [0, 1]")
+        if self.batch_engine not in ("sync", "prefetch", "aot"):
+            raise ValueError("batch_engine must be one of 'sync', 'prefetch', 'aot'")
+        if self.prefetch_depth < 1:
+            raise ValueError("prefetch_depth must be >= 1")
         if self.adaptive_minibatch and self.finder == "tgl":
             raise ValueError(
                 "the TGL pointer-array finder only supports chronological order and "

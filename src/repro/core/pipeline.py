@@ -16,11 +16,19 @@ Per-phase wall-clock time is recorded in the supplied
 :class:`~repro.utils.Timer` under the section names used by the paper's
 runtime tables: ``NF`` (neighbor finding), ``FS`` (feature slicing) and
 ``AS`` (adaptive sampling).
+
+The NF + FS stages of a layer are exposed separately as
+:meth:`MiniBatchGenerator.layer_candidates` so the pipelined batch engines
+(:mod:`repro.core.prefetcher`) can precompute candidate neighborhoods ahead
+of the training loop; :meth:`MiniBatchGenerator.build` accepts such a
+precomputed first hop and finishes the state-dependent stages (adaptive
+sampling, deeper hops) synchronously.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional
+from dataclasses import dataclass
+from typing import Optional
 
 import numpy as np
 
@@ -31,7 +39,26 @@ from ..sampling.recursive import flatten_frontier
 from ..utils.timer import Timer
 from .neighbor_sampler import AdaptiveNeighborSampler
 
-__all__ = ["MiniBatchGenerator"]
+__all__ = ["CandidateSlice", "MiniBatchGenerator"]
+
+
+@dataclass
+class CandidateSlice:
+    """One layer's candidate neighborhood with its sliced features.
+
+    Produced by :meth:`MiniBatchGenerator.layer_candidates`; consumed either
+    directly by :meth:`MiniBatchGenerator.build` or precomputed ahead of time
+    by the prefetch/AOT batch engines.
+    """
+
+    #: candidate neighbors of each target, arrays of shape (R, m).
+    candidates: NeighborBatch
+    #: edge features of the candidate interactions, shape (R, m, d_e) or None.
+    edge_feat: Optional[np.ndarray]
+    #: node features of the candidate neighbor nodes, shape (R, m, d_v) or None.
+    neigh_node_feat: Optional[np.ndarray]
+    #: node features of the layer's targets, shape (R, d_v) or None.
+    target_node_feat: Optional[np.ndarray]
 
 
 class MiniBatchGenerator:
@@ -78,29 +105,75 @@ class MiniBatchGenerator:
             return None
         return np.take_along_axis(array, columns[..., None], axis=1)
 
+    # -- layer stage (NF + FS) ---------------------------------------------------------
+
+    def layer_candidates(self, target_nodes: np.ndarray, target_times: np.ndarray,
+                         timer: Optional[Timer] = None) -> CandidateSlice:
+        """NF + FS of one layer: sample candidates and slice their features.
+
+        This stage depends only on the graph and the query frontier — never on
+        trainable state — which is what makes it safe for the prefetch/AOT
+        engines to run it ahead of the training loop.
+        """
+        timer = timer if timer is not None else self.timer
+        with timer.section("NF"):
+            candidates = self.finder.sample(target_nodes, target_times,
+                                            self._candidate_budget())
+        # Roots with no past interactions yield fully-masked rows whose slots
+        # hold the padding sentinel; downstream feature slicing and
+        # aggregation rely on that contract, so enforce it at the source.
+        candidates.check_padding()
+        with timer.section("FS"):
+            edge_feat, neigh_feat, target_feat = self._slice_candidate_features(
+                candidates, target_nodes)
+        return CandidateSlice(candidates=candidates, edge_feat=edge_feat,
+                              neigh_node_feat=neigh_feat,
+                              target_node_feat=target_feat)
+
+    def slice_root_features(self, root_nodes: np.ndarray,
+                            timer: Optional[Timer] = None) -> Optional[np.ndarray]:
+        """FS of the root queries (separately exposed for the batch engines)."""
+        timer = timer if timer is not None else self.timer
+        with timer.section("FS"):
+            return self.feature_store.slice_node_features(root_nodes)
+
     # -- main entry point ------------------------------------------------------------
 
     def build(self, root_nodes: np.ndarray, root_times: np.ndarray,
-              train: bool = True) -> MiniBatch:
-        """Build the full multi-hop mini-batch for the given root queries."""
+              train: bool = True, first_hop: Optional[CandidateSlice] = None,
+              root_feat: Optional[np.ndarray] = None,
+              timer: Optional[Timer] = None) -> MiniBatch:
+        """Build the full multi-hop mini-batch for the given root queries.
+
+        Parameters
+        ----------
+        first_hop:
+            Optional precomputed NF + FS result for the first hop (from
+            :meth:`layer_candidates`).  When given, ``root_feat`` is taken
+            as the (possibly ``None``) precomputed root features instead of
+            being sliced here.
+        """
         root_nodes = np.asarray(root_nodes, dtype=np.int64)
         root_times = np.asarray(root_times, dtype=np.float64)
-        with self.timer.section("FS"):
-            root_feat = self.feature_store.slice_node_features(root_nodes)
+        timer = timer if timer is not None else self.timer
+        if first_hop is None:
+            root_feat = self.slice_root_features(root_nodes, timer=timer)
         minibatch = MiniBatch(root_nodes=root_nodes, root_times=root_times,
                               root_node_feat=root_feat)
 
         cur_nodes, cur_times = root_nodes, root_times
-        for _layer in range(self.num_layers):
-            with self.timer.section("NF"):
-                candidates = self.finder.sample(cur_nodes, cur_times,
-                                                self._candidate_budget())
-            with self.timer.section("FS"):
-                edge_feat, neigh_feat, target_feat = self._slice_candidate_features(
-                    candidates, cur_nodes)
+        for layer in range(self.num_layers):
+            if layer == 0 and first_hop is not None:
+                stage = first_hop
+            else:
+                stage = self.layer_candidates(cur_nodes, cur_times, timer=timer)
+            candidates = stage.candidates
+            edge_feat = stage.edge_feat
+            neigh_feat = stage.neigh_node_feat
+            target_feat = stage.target_node_feat
 
             if self.uses_adaptive_sampling:
-                with self.timer.section("AS"):
+                with timer.section("AS"):
                     selection = self.adaptive_sampler(
                         candidates, self.num_neighbors,
                         edge_feat=edge_feat, neigh_node_feat=neigh_feat,

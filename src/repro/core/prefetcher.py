@@ -1,0 +1,519 @@
+"""Pipelined mini-batch engines: synchronous, background prefetch, and
+ahead-of-time (AOT) epoch sampling plans.
+
+The paper's central observation is that mini-batch generation (neighbor
+finding ``NF``, feature slicing ``FS``, adaptive sampling ``AS``) dominates
+TGNN training wall-clock.  The reference :class:`SyncBatchEngine` generates
+every batch inside the training loop, exactly like the seed trainer did.  The
+two pipelined engines overlap or amortise that work:
+
+``prefetch``
+    A background producer thread generates batches *in training order* and
+    hands them to the consumer through a bounded queue, overlapping NF/FS
+    with the model's forward/backward (``PP``) phase.
+
+``aot``
+    An ahead-of-time sampling plan generates every batch of the epoch before
+    training starts.  Under a deterministic finder policy (``recent``) the
+    plan vectorises neighbor finding for the *whole epoch's* queries in one
+    pass over the T-CSR — thousands of per-query lookups collapse into a
+    handful of batched ``searchsorted``/gather kernels — and feature slicing
+    is batched the same way.
+
+Determinism contract
+--------------------
+Under a fixed seed all three engines produce **bitwise-identical batches**
+(and therefore identical losses and MRR).  This is achieved by construction,
+not by re-seeding:
+
+* every stateful component (finder RNG, negative sampler, feature cache) is
+  touched in exactly the training order by exactly one thread;
+* configurations whose batch content depends on per-batch training feedback
+  cannot be generated ahead of time and transparently fall back to
+  synchronous generation (see :func:`plan_capability`).
+
+Capability model
+----------------
+``full``
+    Both adaptive switches off: the complete multi-hop mini-batch is a pure
+    function of the graph and the chronological schedule.
+``first_hop``
+    Adaptive neighbor sampling on: the hop-1 *candidate* neighborhood (NF +
+    FS) is still state-free and is planned ahead; the adaptive selection and
+    any deeper hops depend on the sampler's trainable parameters and run
+    synchronously in the consumer.  Requires that the ahead-of-order hop-1
+    queries cannot perturb the finder RNG stream consumed elsewhere: a
+    single-layer backbone, or a deterministic (``recent``) finder policy.
+``none``
+    Adaptive mini-batch selection draws every schedule entry from importance
+    scores updated after each optimiser step — nothing can run ahead.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from queue import Empty, Full, Queue
+from typing import TYPE_CHECKING, Iterator, List, Optional
+
+import numpy as np
+
+from ..sampling.base import NeighborBatch
+from ..sampling.gpu_finder import GPUNeighborFinder
+from ..sampling.recursive import flatten_frontier
+from ..utils.timer import Timer
+from .config import TaserConfig
+from .pipeline import CandidateSlice
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from .trainer import TaserTrainer
+
+__all__ = ["PreparedBatch", "plan_capability", "BatchEngine", "SyncBatchEngine",
+           "PrefetchBatchEngine", "AOTBatchEngine", "make_engine", "ENGINE_MODES"]
+
+ENGINE_MODES = ("sync", "prefetch", "aot")
+
+#: queue sentinel marking the end of a producer's epoch.
+_DONE = object()
+
+
+@dataclass
+class PreparedBatch:
+    """One training batch with everything that was generated ahead of time.
+
+    ``minibatch`` is set when the full multi-hop batch could be built ahead
+    (capability ``full``); ``first_hop``/``root_feat`` when only the hop-1
+    candidate stage could (capability ``first_hop``).  The trainer finishes
+    whatever is missing synchronously.
+    """
+
+    #: training-set-local indices of the positive edges, shape (b,).
+    local_indices: np.ndarray
+    #: number of positive edges b (roots are [src; dst; negatives], 3b total).
+    num_positives: int
+    #: sampled negative destinations, shape (b,).
+    negatives: np.ndarray
+    #: root node ids of all 3b queries.
+    roots: np.ndarray
+    #: query timestamps of all 3b queries.
+    times: np.ndarray
+    #: fully-built multi-hop mini-batch, or None if the consumer must build it.
+    minibatch: Optional[object] = None
+    #: precomputed hop-1 candidate stage (capability ``first_hop``).
+    first_hop: Optional[CandidateSlice] = None
+    #: precomputed root features (only meaningful when ``first_hop`` is set;
+    #: None is a valid value for graphs without node features).
+    root_feat: Optional[np.ndarray] = None
+
+
+def plan_capability(config: TaserConfig, finder) -> str:
+    """How much of a batch can be generated ahead of the training loop.
+
+    Returns ``"full"``, ``"first_hop"`` or ``"none"`` — see the module
+    docstring for the reasoning behind each rule.
+    """
+    if config.adaptive_minibatch:
+        # The schedule itself depends on per-batch logit feedback (Eq. 11).
+        return "none"
+    if not config.adaptive_neighbor:
+        return "full"
+    if config.num_layers == 1:
+        # Hop-1 is the only hop: the consumer never queries the finder, so
+        # the producer's sequential draws match the sync order exactly.
+        return "first_hop"
+    if config.resolved_finder_policy == "recent" and not finder.requires_chronological:
+        # Deeper hops run in the consumer concurrently with the producer's
+        # hop-1 queries; that is only race- and RNG-stream-safe when the
+        # finder is deterministic and stateless.
+        return "first_hop"
+    return "none"
+
+
+class BatchEngine:
+    """Base class: the synchronous (reference) mini-batch engine.
+
+    An engine owns the epoch loop's data side: it walks the selector's
+    schedule, assembles root queries (drawing negatives), and produces
+    :class:`PreparedBatch` items for the trainer to consume.
+    """
+
+    mode = "sync"
+
+    def __init__(self, trainer: "TaserTrainer") -> None:
+        self.trainer = trainer
+        self.config = trainer.config
+        self.capability = plan_capability(trainer.config, trainer.finder)
+
+    @property
+    def effective_mode(self) -> str:
+        """The mode actually in effect after capability fallback."""
+        return "sync" if self.capability == "none" else self.mode
+
+    @property
+    def is_fallback(self) -> bool:
+        return self.effective_mode != self.mode
+
+    # -- shared assembly -----------------------------------------------------------
+
+    def _schedule(self, max_batches: Optional[int]) -> Iterator[np.ndarray]:
+        for i, batch in enumerate(self.trainer.selector.epoch()):
+            if max_batches is not None and i >= max_batches:
+                break
+            yield batch
+
+    def _assemble(self, local_indices: np.ndarray) -> PreparedBatch:
+        """Root-query assembly: positives + negatives, in the sync order."""
+        trainer = self.trainer
+        graph = trainer.graph
+        global_idx = trainer.split.train_idx[local_indices]
+        src = graph.src[global_idx]
+        dst = graph.dst[global_idx]
+        ts = graph.ts[global_idx]
+        b = int(global_idx.size)
+        negatives = trainer.negative_sampler.sample(b, exclude=dst)
+        roots = np.concatenate([src, dst, negatives])
+        times = np.concatenate([ts, ts, ts])
+        return PreparedBatch(local_indices=local_indices, num_positives=b,
+                             negatives=negatives, roots=roots, times=times)
+
+    def _prepare_sync(self, local_indices: np.ndarray) -> PreparedBatch:
+        prepared = self._assemble(local_indices)
+        prepared.minibatch = self.trainer.generator.build(
+            prepared.roots, prepared.times, train=True)
+        return prepared
+
+    def _sync_epoch(self, max_batches: Optional[int]) -> Iterator[PreparedBatch]:
+        for local_indices in self._schedule(max_batches):
+            yield self._prepare_sync(local_indices)
+
+    # -- interface ------------------------------------------------------------------
+
+    def epoch(self, max_batches: Optional[int] = None) -> Iterator[PreparedBatch]:
+        """Yield the prepared batches of one training epoch."""
+        return self._sync_epoch(max_batches)
+
+    def begin_epoch(self) -> None:
+        """Prepare for a new epoch.
+
+        The trainer calls this *before* resetting the finder/timers so an
+        engine can quiesce any leftover background work from an abandoned
+        epoch first (see :meth:`PrefetchBatchEngine.begin_epoch`).
+        """
+
+    def collect_timings(self) -> None:
+        """Fold any engine-side phase timings into the trainer's timer."""
+
+    def shutdown(self) -> None:
+        """Release engine resources (no-op for stateless engines)."""
+
+
+class SyncBatchEngine(BatchEngine):
+    """Reference engine: batch generation inside the training loop."""
+
+
+class PrefetchBatchEngine(BatchEngine):
+    """Producer/consumer engine with a bounded queue and a background thread.
+
+    The producer generates batches strictly in training order, so every RNG
+    draw and cache access happens in the same sequence as under ``sync`` —
+    only *when* they happen changes, which is what buys the NF/FS ↔ PP
+    overlap.  Phase times measured inside the producer are recorded in a
+    private timer and merged into the trainer's timer at the epoch boundary,
+    keeping the paper's NF/FS/AS breakdown accurate.
+    """
+
+    mode = "prefetch"
+
+    #: seconds between stop-flag checks while blocked on the bounded queue.
+    _POLL_INTERVAL = 0.05
+
+    def __init__(self, trainer: "TaserTrainer") -> None:
+        super().__init__(trainer)
+        self.depth = trainer.config.prefetch_depth
+        self._aux_timer = Timer()
+        self._thread: Optional[threading.Thread] = None
+
+    # -- producer side -------------------------------------------------------------
+
+    def _prepare_ahead(self, local_indices: np.ndarray) -> PreparedBatch:
+        prepared = self._assemble(local_indices)
+        generator = self.trainer.generator
+        if self.capability == "full":
+            prepared.minibatch = generator.build(prepared.roots, prepared.times,
+                                                 train=True, timer=self._aux_timer)
+        else:  # first_hop
+            prepared.root_feat = generator.slice_root_features(
+                prepared.roots, timer=self._aux_timer)
+            prepared.first_hop = generator.layer_candidates(
+                prepared.roots, prepared.times, timer=self._aux_timer)
+        return prepared
+
+    def _offer(self, queue: Queue, item, stop: threading.Event) -> bool:
+        """Blocking put that aborts promptly once the consumer signals stop."""
+        while not stop.is_set():
+            try:
+                queue.put(item, timeout=self._POLL_INTERVAL)
+                return True
+            except Full:
+                continue
+        return False
+
+    # -- interface ------------------------------------------------------------------
+
+    def epoch(self, max_batches: Optional[int] = None) -> Iterator[PreparedBatch]:
+        if self.capability == "none":
+            return self._sync_epoch(max_batches)
+        return self._pipelined_epoch(max_batches)
+
+    def _reap_producer(self) -> None:
+        """Wait for any previous epoch's producer to fully exit.
+
+        An abandoned epoch (consumer exception) signals its producer to stop
+        and drains the queue, but only waits a bounded time for the join.  A
+        producer mid-way through a slow batch generation may outlive that
+        wait; starting a new epoch while it still runs would interleave two
+        threads on the finder/negative-sampler RNG streams and break the
+        determinism contract.  The stop flag is already set and the queue
+        drained, so the straggler exits right after its current batch — this
+        join is bounded by one batch's generation time.
+        """
+        thread = self._thread
+        if thread is not None and thread.is_alive():
+            thread.join()
+
+    def begin_epoch(self) -> None:
+        """Quiesce any straggler producer *before* the trainer resets state.
+
+        The trainer resets the (possibly stateful) finder and its timers at
+        the top of ``train_epoch``; a producer surviving from an abandoned
+        epoch could otherwise race those resets with its in-flight
+        ``finder.sample`` and leak its phase timings into the new epoch.
+        """
+        self._reap_producer()
+        # An abandoned epoch never collected its aux timings — they belong to
+        # no reported epoch, so drop them rather than pollute the next one.
+        self._aux_timer.reset()
+
+    def _pipelined_epoch(self, max_batches: Optional[int]) -> Iterator[PreparedBatch]:
+        self._reap_producer()
+        queue: Queue = Queue(maxsize=self.depth)
+        stop = threading.Event()
+        failure: List[BaseException] = []
+
+        def produce() -> None:
+            try:
+                for local_indices in self._schedule(max_batches):
+                    if stop.is_set():
+                        return
+                    item = self._prepare_ahead(local_indices)
+                    if not self._offer(queue, item, stop):
+                        return
+            except BaseException as exc:  # propagate into the consumer
+                failure.append(exc)
+            finally:
+                self._offer(queue, _DONE, stop)
+
+        thread = threading.Thread(target=produce, name="minibatch-prefetch",
+                                  daemon=True)
+        self._thread = thread
+        thread.start()
+        try:
+            while True:
+                item = queue.get()
+                if item is _DONE:
+                    if failure:
+                        raise failure[0]
+                    break
+                yield item
+        finally:
+            # Consumer is done (normally or via an exception): wake a producer
+            # blocked on the bounded queue and wait for it to exit.
+            stop.set()
+            while True:
+                try:
+                    queue.get_nowait()
+                except Empty:
+                    break
+            thread.join(timeout=10.0)
+
+    def collect_timings(self) -> None:
+        self.trainer.timer.merge(self._aux_timer)
+        self._aux_timer.reset()
+
+    def shutdown(self) -> None:
+        self._reap_producer()
+        self._thread = None
+
+    @property
+    def producer_alive(self) -> bool:
+        """Whether the last epoch's producer thread is still running."""
+        return self._thread is not None and self._thread.is_alive()
+
+
+class AOTBatchEngine(BatchEngine):
+    """Ahead-of-time engine: plan the whole epoch's sampling before training.
+
+    Under the deterministic ``recent`` policy the plan is *vectorised*: the
+    root queries of every batch are concatenated and each hop's neighbor
+    finding runs as one batched pass over the T-CSR, with feature slicing
+    batched the same way.  Per-batch results are then cut back out of the
+    concatenated arrays (batch blocks stay contiguous through the frontier
+    expansion, so each cut is a plain row slice).
+
+    Under a stochastic policy the plan replays the per-batch generator calls
+    in exact training order before the epoch starts — still ahead of time and
+    still bitwise-identical, just without the vectorisation win.
+
+    Memory is bounded by planning in chunks of :attr:`plan_chunk` batches:
+    only one chunk's prepared batches (with their sliced feature arrays) are
+    held at a time, so epoch length does not change the engine's footprint.
+    Chunking does not affect determinism — every RNG draw still happens in
+    strict batch order — and a chunk of 16 full-size batches keeps the
+    vectorised kernels operating on thousands of rows.
+    """
+
+    mode = "aot"
+
+    #: batches planned (and held in memory) per vectorised planning pass.
+    plan_chunk = 16
+
+    def __init__(self, trainer: "TaserTrainer") -> None:
+        super().__init__(trainer)
+        self._plan_finder = None
+        if self.capability != "none" \
+                and trainer.config.resolved_finder_policy == "recent":
+            if isinstance(trainer.finder, GPUNeighborFinder):
+                self._plan_finder = trainer.finder
+            else:
+                # The block-centric finder is the vectorised equivalent of the
+                # per-query finders for the deterministic most-recent policy
+                # (asserted by the engine test suite); it draws no RNG there.
+                self._plan_finder = GPUNeighborFinder(
+                    trainer.tcsr, policy="recent", seed=trainer.config.seed)
+
+    @property
+    def vectorised(self) -> bool:
+        """Whether the plan runs as one-pass vectorised kernels."""
+        return self._plan_finder is not None
+
+    def epoch(self, max_batches: Optional[int] = None) -> Iterator[PreparedBatch]:
+        if self.capability == "none":
+            return self._sync_epoch(max_batches)
+        return self._planned_epoch(max_batches)
+
+    # -- planning ---------------------------------------------------------------------
+
+    def _planned_epoch(self, max_batches: Optional[int]) -> Iterator[PreparedBatch]:
+        schedule = self._schedule(max_batches)
+        while True:
+            chunk: List[np.ndarray] = []
+            for local_indices in schedule:
+                chunk.append(local_indices)
+                if len(chunk) >= self.plan_chunk:
+                    break
+            if not chunk:
+                return
+            for item in self._build_plan(chunk):
+                yield item
+
+    def _build_plan(self, chunk: List[np.ndarray]) -> List[PreparedBatch]:
+        # Negatives are drawn batch-by-batch in schedule order: the same RNG
+        # sequence the sync engine consumes.
+        prepared = [self._assemble(ix) for ix in chunk]
+        if self.vectorised:
+            self._plan_vectorised(prepared)
+        else:
+            self._plan_sequential(prepared)
+        return prepared
+
+    def _plan_sequential(self, prepared: List[PreparedBatch]) -> None:
+        generator = self.trainer.generator
+        timer = self.trainer.timer
+        for item in prepared:
+            if self.capability == "full":
+                item.minibatch = generator.build(item.roots, item.times,
+                                                 train=True, timer=timer)
+            else:
+                item.root_feat = generator.slice_root_features(item.roots, timer=timer)
+                item.first_hop = generator.layer_candidates(item.roots, item.times,
+                                                            timer=timer)
+
+    def _plan_vectorised(self, prepared: List[PreparedBatch]) -> None:
+        from ..models.minibatch import HopData, MiniBatch
+
+        generator = self.trainer.generator
+        store = generator.feature_store
+        timer = self.trainer.timer
+        budget = generator._candidate_budget()
+        num_layers = generator.num_layers if self.capability == "full" else 1
+        sizes = [item.roots.size for item in prepared]
+
+        cur_nodes = np.concatenate([item.roots for item in prepared])
+        cur_times = np.concatenate([item.times for item in prepared])
+        with timer.section("FS"):
+            root_feat_all = store.slice_node_features(cur_nodes)
+
+        # Per layer: (candidates, edge_feat, neigh_feat, target_feat, offsets).
+        layer_stages = []
+        for layer in range(num_layers):
+            with timer.section("NF"):
+                candidates = self._plan_finder.sample(cur_nodes, cur_times, budget)
+            candidates.check_padding()
+            with timer.section("FS"):
+                edge_feat, neigh_feat, target_feat = \
+                    generator._slice_candidate_features(candidates, cur_nodes)
+            rows = [size * budget ** layer for size in sizes]
+            offsets = np.concatenate([[0], np.cumsum(rows)])
+            layer_stages.append((candidates, edge_feat, neigh_feat, target_feat,
+                                 offsets))
+            cur_nodes, cur_times = flatten_frontier(candidates)
+
+        root_offsets = np.concatenate([[0], np.cumsum(sizes)])
+        for i, item in enumerate(prepared):
+            lo, hi = int(root_offsets[i]), int(root_offsets[i + 1])
+            root_feat = root_feat_all[lo:hi] if root_feat_all is not None else None
+            slices = [self._cut_stage(stage, i) for stage in layer_stages]
+            if self.capability == "full":
+                minibatch = MiniBatch(root_nodes=item.roots, root_times=item.times,
+                                      root_node_feat=root_feat)
+                for stage in slices:
+                    minibatch.hops.append(HopData(
+                        batch=stage.candidates, edge_feat=stage.edge_feat,
+                        neigh_node_feat=stage.neigh_node_feat,
+                        target_node_feat=stage.target_node_feat))
+                item.minibatch = minibatch
+            else:
+                item.root_feat = root_feat
+                item.first_hop = slices[0]
+
+    @staticmethod
+    def _cut_stage(stage, index: int) -> CandidateSlice:
+        """Cut batch ``index``'s rows out of one concatenated layer stage."""
+        candidates, edge_feat, neigh_feat, target_feat, offsets = stage
+        lo, hi = int(offsets[index]), int(offsets[index + 1])
+        batch = NeighborBatch(
+            root_nodes=candidates.root_nodes[lo:hi],
+            root_times=candidates.root_times[lo:hi],
+            nodes=candidates.nodes[lo:hi],
+            eids=candidates.eids[lo:hi],
+            times=candidates.times[lo:hi],
+            mask=candidates.mask[lo:hi],
+        )
+        return CandidateSlice(
+            candidates=batch,
+            edge_feat=edge_feat[lo:hi] if edge_feat is not None else None,
+            neigh_node_feat=neigh_feat[lo:hi] if neigh_feat is not None else None,
+            target_node_feat=target_feat[lo:hi] if target_feat is not None else None,
+        )
+
+
+def make_engine(trainer: "TaserTrainer", mode: Optional[str] = None) -> BatchEngine:
+    """Build the batch engine selected by ``trainer.config.batch_engine``."""
+    mode = mode if mode is not None else trainer.config.batch_engine
+    if mode == "sync":
+        return SyncBatchEngine(trainer)
+    if mode == "prefetch":
+        return PrefetchBatchEngine(trainer)
+    if mode == "aot":
+        return AOTBatchEngine(trainer)
+    raise ValueError(f"unknown batch engine {mode!r}; choose from {ENGINE_MODES}")

@@ -39,6 +39,7 @@ from .config import TaserConfig
 from .minibatch_selector import AdaptiveMiniBatchSelector, ChronologicalSelector
 from .neighbor_sampler import AdaptiveNeighborSampler
 from .pipeline import MiniBatchGenerator
+from .prefetcher import PreparedBatch, make_engine
 from .sample_loss import build_sample_loss
 
 __all__ = ["EpochStats", "TrainResult", "TaserTrainer"]
@@ -54,6 +55,11 @@ class EpochStats:
     runtime: Dict[str, float]
     cache_hit_rate: float
     effective_sample_size: float
+    #: per-batch model losses in training order (the batch engines' bitwise
+    #: determinism contract is asserted against these).
+    batch_losses: List[float] = field(default_factory=list)
+    #: batch engine mode actually in effect this epoch (after fallback).
+    engine_mode: str = "sync"
 
     @property
     def total_runtime(self) -> float:
@@ -147,24 +153,26 @@ class TaserTrainer:
             self.sampler_optimizer = Adam(self.sampler.parameters(), lr=cfg.sampler_lr)
 
         self.negative_sampler = NegativeSampler(self.graph, seed=cfg.seed + 17)
+
+        # --- mini-batch engine (sync | prefetch | aot) ------------------------------------
+        self.engine = make_engine(self)
+
         self.history: List[EpochStats] = []
         self._epoch = 0
 
     # ------------------------------------------------------------------ training
 
-    def _train_batch(self, local_indices: np.ndarray) -> Dict[str, float]:
+    def _train_prepared(self, prepared: PreparedBatch) -> Dict[str, float]:
         cfg = self.config
-        graph = self.graph
-        global_idx = self.split.train_idx[local_indices]
-        src = graph.src[global_idx]
-        dst = graph.dst[global_idx]
-        ts = graph.ts[global_idx]
-        b = global_idx.size
-        negatives = self.negative_sampler.sample(b, exclude=dst)
-
-        roots = np.concatenate([src, dst, negatives])
-        times = np.concatenate([ts, ts, ts])
-        minibatch = self.generator.build(roots, times, train=True)
+        b = prepared.num_positives
+        local_indices = prepared.local_indices
+        minibatch = prepared.minibatch
+        if minibatch is None:
+            # Finish the state-dependent stages the engine could not run ahead
+            # (adaptive neighbor selection and any deeper hops).
+            minibatch = self.generator.build(prepared.roots, prepared.times,
+                                             train=True, first_hop=prepared.first_hop,
+                                             root_feat=prepared.root_feat)
 
         with self.timer.section("PP"):
             self.model_optimizer.zero_grad()
@@ -208,6 +216,9 @@ class TaserTrainer:
 
     def train_epoch(self) -> EpochStats:
         """Run one training epoch and return its statistics."""
+        # Quiesce any engine background work from an abandoned epoch before
+        # touching shared state (finder pointers, timers, cache stats).
+        self.engine.begin_epoch()
         self.backbone.train()
         self.predictor.train()
         if self.sampler is not None:
@@ -218,13 +229,13 @@ class TaserTrainer:
         self.timer.reset()
         self.feature_store.reset_stats()
         losses, sample_losses = [], []
-        max_batches = self.config.max_batches_per_epoch
-        for i, batch in enumerate(self.selector.epoch()):
-            if max_batches is not None and i >= max_batches:
-                break
-            stats = self._train_batch(batch)
+        for prepared in self.engine.epoch(self.config.max_batches_per_epoch):
+            stats = self._train_prepared(prepared)
             losses.append(stats["model_loss"])
             sample_losses.append(stats["sample_loss"])
+        # Fold phase timings measured inside a producer thread back into the
+        # epoch's NF/FS/AS breakdown.
+        self.engine.collect_timings()
 
         # Epoch boundary: cache replacement policy + simulated transfer time.
         # "FS" is the total feature-slicing phase (measured gather + modelled
@@ -246,7 +257,9 @@ class TaserTrainer:
                            sample_loss=float(np.mean(sample_losses)) if sample_losses else 0.0,
                            runtime=runtime,
                            cache_hit_rate=float(cache_hit),
-                           effective_sample_size=float(ess))
+                           effective_sample_size=float(ess),
+                           batch_losses=losses,
+                           engine_mode=self.engine.effective_mode)
         self.history.append(stats)
         return stats
 

@@ -17,7 +17,8 @@ to regenerate Fig. 1 and Table III.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import threading
+from dataclasses import dataclass
 from typing import Dict, Optional
 
 import numpy as np
@@ -91,6 +92,11 @@ class FeatureStore:
         self.cost_model = cost_model if cost_model is not None else TransferCostModel()
         self.node_features_on_device = node_features_on_device
         self.stats = SliceStats()
+        # Guards stats/cache accounting: the prefetch batch engine may slice
+        # hop-1 features in its producer thread while the consumer slices a
+        # deeper hop.  Accumulated counts are order-insensitive sums, so the
+        # lock is all that is needed for deterministic accounting.
+        self._lock = threading.Lock()
         self._edge_bytes_per_row = (graph.edge_feat.itemsize * graph.edge_dim
                                     if graph.edge_feat is not None else 0)
         self._node_bytes_per_row = (graph.node_feat.itemsize * graph.node_dim
@@ -114,23 +120,25 @@ class FeatureStore:
             else np.asarray(mask, dtype=bool).reshape(-1)
 
         requested = flat[valid]
-        self.stats.requests += 1
-        if self.edge_cache is not None and requested.size:
-            hits = self.edge_cache.lookup(requested)
-            n_hit = int(hits.sum())
-            n_miss = int(requested.size - n_hit)
-        else:
-            n_hit, n_miss = 0, int(requested.size)
-        self.stats.cache_hits += n_hit
-        self.stats.cache_misses += n_miss
-        hit_bytes = n_hit * self._edge_bytes_per_row
-        miss_bytes = n_miss * self._edge_bytes_per_row
-        self.stats.bytes_from_vram += hit_bytes
-        self.stats.bytes_from_ram += miss_bytes
-        self.stats.simulated_seconds += self.cost_model.vram_time(hit_bytes, num_rows=n_hit)
-        if n_miss:
-            self.stats.simulated_seconds += self.cost_model.pcie_time(miss_bytes,
-                                                                      num_rows=n_miss)
+        with self._lock:
+            self.stats.requests += 1
+            if self.edge_cache is not None and requested.size:
+                hits = self.edge_cache.lookup(requested)
+                n_hit = int(hits.sum())
+                n_miss = int(requested.size - n_hit)
+            else:
+                n_hit, n_miss = 0, int(requested.size)
+            self.stats.cache_hits += n_hit
+            self.stats.cache_misses += n_miss
+            hit_bytes = n_hit * self._edge_bytes_per_row
+            miss_bytes = n_miss * self._edge_bytes_per_row
+            self.stats.bytes_from_vram += hit_bytes
+            self.stats.bytes_from_ram += miss_bytes
+            self.stats.simulated_seconds += self.cost_model.vram_time(hit_bytes,
+                                                                     num_rows=n_hit)
+            if n_miss:
+                self.stats.simulated_seconds += self.cost_model.pcie_time(
+                    miss_bytes, num_rows=n_miss)
 
         features = self.graph.edge_feat[flat].astype(np.float64)
         if mask is not None:
@@ -150,12 +158,15 @@ class FeatureStore:
             else np.asarray(mask, dtype=bool).reshape(-1)
         n_rows = float(valid.sum())
         nbytes = n_rows * self._node_bytes_per_row
-        if self.node_features_on_device:
-            self.stats.bytes_from_vram += nbytes
-            self.stats.simulated_seconds += self.cost_model.vram_time(nbytes, num_rows=n_rows)
-        else:
-            self.stats.bytes_from_ram += nbytes
-            self.stats.simulated_seconds += self.cost_model.pcie_time(nbytes, num_rows=n_rows)
+        with self._lock:
+            if self.node_features_on_device:
+                self.stats.bytes_from_vram += nbytes
+                self.stats.simulated_seconds += self.cost_model.vram_time(nbytes,
+                                                                          num_rows=n_rows)
+            else:
+                self.stats.bytes_from_ram += nbytes
+                self.stats.simulated_seconds += self.cost_model.pcie_time(nbytes,
+                                                                          num_rows=n_rows)
         features = self.graph.node_feat[flat].astype(np.float64)
         if mask is not None:
             features = features * valid[:, None]

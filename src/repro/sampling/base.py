@@ -87,6 +87,28 @@ class NeighborBatch:
         freq = (same & valid_pair).sum(axis=2)
         return np.where(self.mask, freq, 0)
 
+    def check_padding(self) -> None:
+        """Verify that every invalid slot holds the padding sentinel.
+
+        Roots with no past interactions (e.g. the first event of a node, or a
+        query at the very start of the timeline) produce fully-masked rows.
+        The padding sentinel is the *valid* node/edge id ``0`` so that padded
+        slots can index feature matrices safely — which means any consumer
+        that ignores ``mask`` silently reads node-0/edge-0 data.  This check
+        pins the producer half of that contract: padded slots must contain
+        exactly ``PAD_NODE``/``PAD_EDGE``/``0.0`` so masked feature slicing
+        zeroes them out deterministically.  Raises ``ValueError`` (not a bare
+        assert, which ``python -O`` would compile out) — the pipeline runs it
+        on every finder result.
+        """
+        invalid = ~self.mask
+        if self.nodes[invalid].any():
+            raise ValueError("padded neighbor slots must hold the PAD_NODE sentinel")
+        if self.eids[invalid].any():
+            raise ValueError("padded neighbor slots must hold the PAD_EDGE sentinel")
+        if self.times[invalid].any():
+            raise ValueError("padded neighbor slots must have timestamp 0.0")
+
     def check_invariants(self) -> None:
         """Assert structural invariants (shapes, causality, padding)."""
         b = self.batch_size

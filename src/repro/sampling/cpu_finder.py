@@ -43,6 +43,11 @@ class OriginalNeighborFinder(NeighborFinder):
             seg_ts = tcsr.ts[lo:hi]
             pivot = int(np.searchsorted(seg_ts, t, side="left"))
             if pivot == 0:
+                # No past interaction: the row stays fully masked and every
+                # slot keeps the sentinel (node 0 / eid 0 / t 0.0).  Sentinel
+                # ids are valid feature indices, so downstream consumers MUST
+                # honour the mask — the pipeline asserts this contract via
+                # NeighborBatch.check_padding().
                 continue
             if self.policy == "recent":
                 take = min(budget, pivot)

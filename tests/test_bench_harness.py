@@ -1,9 +1,12 @@
 """Tests for the benchmark harness and the runtime-breakdown tooling."""
 
+import json
+
 import numpy as np
 import pytest
 
-from repro.bench import (VARIANTS, format_table, geometric_mean, quick_config,
+from repro.bench import (VARIANTS, emit_bench_json, engine_mode_comparison,
+                         format_table, geometric_mean, quick_config,
                          variant_config, run_variant, system_configurations)
 from repro.bench.breakdown import BreakdownRow, runtime_breakdown
 from repro.graph import CTDGConfig, generate_ctdg
@@ -47,6 +50,37 @@ class TestFormatting:
         assert geometric_mean([1.0, 4.0]) == pytest.approx(2.0)
         assert np.isnan(geometric_mean([]))
         assert np.isnan(geometric_mean([1.0, 0.0]))
+
+
+class TestBenchJson:
+    def test_emit_bench_json_writes_wrapped_record(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_OUTPUT", str(tmp_path))
+        path = emit_bench_json("smoke", {"speedup": 2.0})
+        assert path == tmp_path / "BENCH_smoke.json"
+        record = json.loads(path.read_text())
+        assert record["benchmark"] == "smoke"
+        assert record["results"] == {"speedup": 2.0}
+        assert "scale" in record and "unix_time" in record
+
+    def test_engine_mode_comparison_deterministic(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_OUTPUT", str(tmp_path))
+        graph = generate_ctdg(CTDGConfig(num_src=30, num_dst=20, num_events=600,
+                                         edge_dim=8, seed=3))
+        config = quick_config("graphmixer", adaptive_minibatch=False,
+                              adaptive_neighbor=False, epochs=1,
+                              max_batches_per_epoch=3, hidden_dim=8, time_dim=4,
+                              num_neighbors=3, num_candidates=3,
+                              eval_max_edges=20, eval_negatives=5,
+                              batch_engine="sync")
+        results = engine_mode_comparison(graph, config, epochs=1)
+        assert set(results) == {"sync", "prefetch", "aot"}
+        for mode, row in results.items():
+            assert row["epoch_seconds"] > 0
+            assert row["speedup_vs_sync"] > 0
+            assert row["batch_losses"] == results["sync"]["batch_losses"]
+            assert row["test_mrr"] == results["sync"]["test_mrr"]
+        assert results["sync"]["effective_mode"] == "sync"
+        assert results["aot"]["effective_mode"] == "aot"
 
 
 class TestBreakdown:

@@ -65,6 +65,29 @@ class TestCLI:
         assert 0.0 <= summary["test_mrr"] <= 1.0
         assert "PP" in summary["runtime_breakdown_seconds"]
 
+    def test_batch_engine_flag_plumbing(self):
+        args = build_parser().parse_args(["--batch-engine", "aot",
+                                          "--prefetch-depth", "3"])
+        assert args.batch_engine == "aot"
+        assert args.prefetch_depth == 3
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["--batch-engine", "warp"])
+
+    def test_batch_engine_modes_agree_end_to_end(self):
+        """The CLI's aot run must reproduce the sync run exactly."""
+        base = ["--dataset", "wikipedia", "--scale", "0.05",
+                "--backbone", "graphmixer", "--variant", "baseline",
+                "--epochs", "1", "--max-batches-per-epoch", "2",
+                "--hidden-dim", "8", "--time-dim", "4",
+                "--num-neighbors", "3", "--num-candidates", "6",
+                "--eval-max-edges", "20", "--eval-negatives", "5"]
+        sync = run(build_parser().parse_args(base + ["--batch-engine", "sync"]))
+        aot = run(build_parser().parse_args(base + ["--batch-engine", "aot"]))
+        assert sync["batch_engine_effective"] == "sync"
+        assert aot["batch_engine_effective"] == "aot"
+        assert aot["test_mrr"] == sync["test_mrr"]
+        assert aot["final_model_loss"] == sync["final_model_loss"]
+
     def test_main_json_output(self, capsys):
         code = main([
             "--scale", "0.05", "--variant", "ada-minibatch",

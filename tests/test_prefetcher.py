@@ -1,0 +1,315 @@
+"""Tests for the pipelined mini-batch engines (sync | prefetch | aot).
+
+The engines' acceptance bar is *bitwise determinism*: under a fixed seed the
+prefetch and AOT paths must produce identical batches — and therefore
+identical per-batch losses and MRR — to the synchronous reference path.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import (AOTBatchEngine, PrefetchBatchEngine, SyncBatchEngine,
+                        TaserConfig, TaserTrainer, make_engine, plan_capability)
+from repro.graph import CTDGConfig, build_tcsr, generate_ctdg
+from repro.sampling import GPUNeighborFinder, OriginalNeighborFinder
+
+
+def engine_config(**overrides):
+    base = dict(hidden_dim=8, time_dim=4, num_neighbors=4, num_candidates=8,
+                batch_size=64, epochs=1, max_batches_per_epoch=6,
+                eval_max_edges=40, eval_negatives=10, lr=1e-3, dropout=0.0)
+    base.update(overrides)
+    return TaserConfig(**base)
+
+
+@pytest.fixture(scope="module")
+def engine_graph():
+    return generate_ctdg(CTDGConfig(num_src=40, num_dst=25, num_events=1400,
+                                    num_communities=4, edge_dim=8, seed=21,
+                                    noise_prob=0.15, repeat_prob=0.4))
+
+
+def run_epochs(graph, epochs=2, **overrides):
+    """Train ``epochs`` epochs; return (per-batch losses, val MRR, trainer)."""
+    trainer = TaserTrainer(graph, engine_config(epochs=epochs, **overrides))
+    losses = []
+    for _ in range(epochs):
+        losses.extend(trainer.train_epoch().batch_losses)
+    mrr = trainer.evaluate("val")["mrr"]
+    return losses, mrr, trainer
+
+
+VARIANT_MATRIX = [
+    # (label, overrides): covers full / first_hop / fallback capabilities
+    # across backbones (1- and 2-layer) and all three finders.
+    ("baseline-graphmixer", dict(backbone="graphmixer", adaptive_minibatch=False,
+                                 adaptive_neighbor=False)),
+    ("baseline-tgat", dict(backbone="tgat", adaptive_minibatch=False,
+                           adaptive_neighbor=False)),
+    # 2-layer vectorised AOT plan (deterministic policy across both hops).
+    ("baseline-tgat-recent", dict(backbone="tgat", finder_policy="recent",
+                                  adaptive_minibatch=False,
+                                  adaptive_neighbor=False)),
+    ("baseline-original-finder", dict(backbone="graphmixer", finder="original",
+                                      adaptive_minibatch=False,
+                                      adaptive_neighbor=False)),
+    ("baseline-tgl-finder", dict(backbone="graphmixer", finder="tgl",
+                                 adaptive_minibatch=False,
+                                 adaptive_neighbor=False)),
+    ("ada-neighbor-graphmixer", dict(backbone="graphmixer",
+                                     adaptive_minibatch=False,
+                                     adaptive_neighbor=True)),
+    ("ada-neighbor-tgat", dict(backbone="tgat", adaptive_minibatch=False,
+                               adaptive_neighbor=True)),
+    ("taser-graphmixer", dict(backbone="graphmixer", adaptive_minibatch=True,
+                              adaptive_neighbor=True)),
+]
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("mode", ["prefetch", "aot"])
+    @pytest.mark.parametrize("label,overrides",
+                             VARIANT_MATRIX, ids=[v[0] for v in VARIANT_MATRIX])
+    def test_identical_losses_and_mrr_vs_sync(self, engine_graph, mode, label,
+                                              overrides):
+        sync_losses, sync_mrr, _ = run_epochs(engine_graph, batch_engine="sync",
+                                              **overrides)
+        losses, mrr, trainer = run_epochs(engine_graph, batch_engine=mode,
+                                          **overrides)
+        assert losses == sync_losses, \
+            f"{mode} diverged from sync on {label} " \
+            f"(effective mode {trainer.engine.effective_mode})"
+        assert mrr == sync_mrr
+        assert len(sync_losses) > 0
+
+    def test_aot_plan_chunking_does_not_change_results(self, engine_graph,
+                                                       monkeypatch):
+        kw = dict(backbone="tgat", finder_policy="recent",
+                  adaptive_minibatch=False, adaptive_neighbor=False)
+        sync_losses, sync_mrr, _ = run_epochs(engine_graph, batch_engine="sync",
+                                              **kw)
+        # Force multiple planning chunks per epoch (6 batches / chunk of 2).
+        monkeypatch.setattr(AOTBatchEngine, "plan_chunk", 2)
+        losses, mrr, trainer = run_epochs(engine_graph, batch_engine="aot", **kw)
+        assert trainer.engine.vectorised
+        assert losses == sync_losses
+        assert mrr == sync_mrr
+
+    def test_prefetch_depth_does_not_change_results(self, engine_graph):
+        kw = dict(backbone="graphmixer", adaptive_minibatch=False,
+                  adaptive_neighbor=False, batch_engine="prefetch")
+        one, _, _ = run_epochs(engine_graph, prefetch_depth=1, **kw)
+        four, _, _ = run_epochs(engine_graph, prefetch_depth=4, **kw)
+        assert one == four
+
+
+class TestCapability:
+    def test_capability_matrix(self, engine_graph):
+        def cap(**kw):
+            trainer = TaserTrainer(engine_graph, engine_config(**kw))
+            return plan_capability(trainer.config, trainer.finder)
+
+        assert cap(adaptive_minibatch=False, adaptive_neighbor=False) == "full"
+        # 1-layer backbone: hop-1 is the only hop, plannable under any policy.
+        assert cap(backbone="graphmixer", adaptive_minibatch=False,
+                   adaptive_neighbor=True) == "first_hop"
+        # 2-layer + deterministic policy: deeper hops are stateless too.
+        assert cap(backbone="tgat", finder_policy="recent",
+                   adaptive_minibatch=False, adaptive_neighbor=True) == "first_hop"
+        # 2-layer + stochastic policy: consumer-side hop-2 draws would race
+        # the producer's RNG stream.
+        assert cap(backbone="tgat", adaptive_minibatch=False,
+                   adaptive_neighbor=True) == "none"
+        # Adaptive mini-batch selection: the schedule itself is feedback-driven.
+        assert cap(adaptive_minibatch=True, adaptive_neighbor=False) == "none"
+
+    def test_effective_mode_reports_fallback(self, engine_graph):
+        trainer = TaserTrainer(engine_graph, engine_config(
+            batch_engine="prefetch", adaptive_minibatch=True))
+        assert trainer.engine.mode == "prefetch"
+        assert trainer.engine.effective_mode == "sync"
+        assert trainer.engine.is_fallback
+        stats = trainer.train_epoch()
+        assert stats.engine_mode == "sync"
+        assert np.isfinite(stats.model_loss)
+
+    def test_make_engine_selects_class(self, engine_graph):
+        trainer = TaserTrainer(engine_graph, engine_config())
+        assert isinstance(make_engine(trainer, "sync"), SyncBatchEngine)
+        assert isinstance(make_engine(trainer, "prefetch"), PrefetchBatchEngine)
+        assert isinstance(make_engine(trainer, "aot"), AOTBatchEngine)
+        with pytest.raises(ValueError):
+            make_engine(trainer, "warp")
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            engine_config(batch_engine="lazy")
+        with pytest.raises(ValueError):
+            engine_config(prefetch_depth=0)
+
+
+class TestPrefetchShutdown:
+    def test_consumer_exception_stops_producer(self, engine_graph):
+        trainer = TaserTrainer(engine_graph, engine_config(
+            backbone="graphmixer", adaptive_minibatch=False,
+            adaptive_neighbor=False, batch_engine="prefetch", prefetch_depth=2))
+
+        class Boom(RuntimeError):
+            pass
+
+        def explode(prepared):
+            raise Boom("consumer failure")
+
+        original = trainer._train_prepared
+        trainer._train_prepared = explode
+        with pytest.raises(Boom):
+            trainer.train_epoch()
+        # The bounded queue must not leave the producer thread blocked.
+        trainer.engine._thread.join(timeout=5.0)
+        assert not trainer.engine.producer_alive
+
+        # The engine must be reusable after the failure.
+        trainer._train_prepared = original
+        stats = trainer.train_epoch()
+        assert np.isfinite(stats.model_loss)
+        assert not trainer.engine.producer_alive
+
+    def test_producer_exception_propagates(self, engine_graph):
+        trainer = TaserTrainer(engine_graph, engine_config(
+            backbone="graphmixer", adaptive_minibatch=False,
+            adaptive_neighbor=False, batch_engine="prefetch"))
+
+        def broken_sample(*args, **kwargs):
+            raise RuntimeError("finder exploded")
+
+        trainer.finder.sample = broken_sample
+        with pytest.raises(RuntimeError, match="finder exploded"):
+            trainer.train_epoch()
+        trainer.engine._thread.join(timeout=5.0)
+        assert not trainer.engine.producer_alive
+
+    def test_producer_thread_finishes_after_epoch(self, engine_graph):
+        trainer = TaserTrainer(engine_graph, engine_config(
+            backbone="graphmixer", adaptive_minibatch=False,
+            adaptive_neighbor=False, batch_engine="prefetch"))
+        trainer.train_epoch()
+        assert not trainer.engine.producer_alive
+
+
+class TestTimings:
+    def test_prefetch_phase_breakdown_collected(self, engine_graph):
+        _, _, trainer = run_epochs(engine_graph, epochs=1,
+                                   backbone="graphmixer",
+                                   adaptive_minibatch=False,
+                                   adaptive_neighbor=False,
+                                   batch_engine="prefetch")
+        runtime = trainer.history[-1].runtime
+        # NF/FS happen in the producer thread but must still land in the
+        # epoch's phase breakdown.
+        assert runtime["NF"] > 0
+        assert runtime["FS"] > 0
+        assert runtime["PP"] > 0
+        assert trainer.history[-1].engine_mode == "prefetch"
+
+    def test_aot_phase_breakdown_recorded(self, engine_graph):
+        _, _, trainer = run_epochs(engine_graph, epochs=1,
+                                   backbone="graphmixer",
+                                   adaptive_minibatch=False,
+                                   adaptive_neighbor=False,
+                                   batch_engine="aot")
+        runtime = trainer.history[-1].runtime
+        assert runtime["NF"] > 0
+        assert runtime["FS"] > 0
+        assert runtime["PP"] > 0
+        assert trainer.history[-1].engine_mode == "aot"
+
+
+class TestVectorisedPlan:
+    """The AOT plan's vectorised recent-policy kernel must equal the
+    per-query finders bit-for-bit (that is what makes the bypass legal)."""
+
+    @pytest.fixture(scope="class")
+    def plan_graph(self):
+        return generate_ctdg(CTDGConfig(num_src=30, num_dst=20, num_events=900,
+                                        num_communities=3, edge_dim=6, seed=5))
+
+    def test_vectorised_recent_equals_original_finder(self, plan_graph):
+        tcsr = build_tcsr(plan_graph)
+        rng = np.random.default_rng(3)
+        idx = rng.integers(0, plan_graph.num_edges, 300)
+        nodes, times = plan_graph.src[idx], plan_graph.ts[idx]
+        reference = OriginalNeighborFinder(tcsr, policy="recent").sample(
+            nodes, times, 7)
+        vectorised = GPUNeighborFinder(tcsr, policy="recent").sample(
+            nodes, times, 7)
+        assert np.array_equal(reference.nodes, vectorised.nodes)
+        assert np.array_equal(reference.eids, vectorised.eids)
+        assert np.array_equal(reference.times, vectorised.times)
+        assert np.array_equal(reference.mask, vectorised.mask)
+
+    def test_aot_uses_vectorised_plan_only_for_recent(self, engine_graph):
+        gm = TaserTrainer(engine_graph, engine_config(
+            backbone="graphmixer", adaptive_minibatch=False,
+            adaptive_neighbor=False, batch_engine="aot"))
+        assert gm.engine.vectorised  # graphmixer resolves to 'recent'
+        tgat = TaserTrainer(engine_graph, engine_config(
+            backbone="tgat", adaptive_minibatch=False,
+            adaptive_neighbor=False, batch_engine="aot"))
+        assert not tgat.engine.vectorised  # 'uniform' falls back to replay
+
+
+class TestEmptyNeighborhoods:
+    """Regression tests: roots with no past interactions must flow through
+    the whole pipeline as fully-masked sentinel rows (ISSUE satellite)."""
+
+    def test_original_finder_empty_rows_fully_masked(self, engine_graph):
+        tcsr = build_tcsr(engine_graph)
+        finder = OriginalNeighborFinder(tcsr, policy="recent")
+        # Query at (and before) the first event: nothing is in the past.
+        t0 = float(engine_graph.ts.min())
+        nodes = np.arange(5, dtype=np.int64)
+        batch = finder.sample(nodes, np.full(5, t0), 4)
+        assert not batch.mask.any()
+        batch.check_padding()  # sentinel contract
+
+    def test_check_padding_catches_violations(self):
+        from repro.sampling import NeighborBatch
+        bad = NeighborBatch(
+            root_nodes=np.array([0]), root_times=np.array([10.0]),
+            nodes=np.array([[7]]), eids=np.array([[0]]),
+            times=np.array([[0.0]]), mask=np.array([[False]]))
+        with pytest.raises(ValueError):
+            bad.check_padding()
+
+    def test_empty_neighborhood_minibatch_trains(self, engine_graph):
+        """A batch whose first chronological edges have empty neighborhoods
+        must produce zeroed (mask-respected) features and a finite loss."""
+        trainer = TaserTrainer(engine_graph, engine_config(
+            backbone="graphmixer", adaptive_minibatch=False,
+            adaptive_neighbor=False, batch_size=8))
+        # The very first training batch contains the earliest edges, whose
+        # sources have no history at all.
+        prepared = trainer.engine._prepare_sync(np.arange(8))
+        hop = prepared.minibatch.hops[0]
+        empty_rows = ~hop.batch.mask.any(axis=1)
+        assert empty_rows.any(), "expected some empty neighborhoods at t ~ 0"
+        # Mask respected downstream: sliced features of padded slots are zero.
+        if hop.edge_feat is not None:
+            assert not hop.edge_feat[~hop.batch.mask].any()
+        if hop.neigh_node_feat is not None:
+            assert not hop.neigh_node_feat[~hop.batch.mask].any()
+        stats = trainer._train_prepared(prepared)
+        assert np.isfinite(stats["model_loss"])
+
+    def test_feature_store_does_not_account_padded_slots(self, engine_graph):
+        trainer = TaserTrainer(engine_graph, engine_config(
+            adaptive_minibatch=False, adaptive_neighbor=False))
+        store = trainer.feature_store
+        store.reset_stats()
+        eids = np.zeros((3, 4), dtype=np.int64)
+        mask = np.zeros((3, 4), dtype=bool)
+        feats = store.slice_edge_features(eids, mask)
+        assert not feats.any()
+        assert store.stats.bytes_from_vram == 0
+        assert store.stats.bytes_from_ram == 0
+        assert store.stats.cache_hits == 0 and store.stats.cache_misses == 0
