@@ -1,9 +1,13 @@
 """Command-line experiment runner.
 
-Runs one (dataset, backbone, variant) training cell from the terminal —
-the same cells the Table I benchmark sweeps — and prints the resulting MRR
-and runtime breakdown as JSON, so results can be collected by shell scripts
-without writing any Python.
+Two entry points share the ``repro`` command:
+
+* the default (offline) runner trains one (dataset, backbone, variant) cell —
+  the same cells the Table I benchmark sweeps — and prints the resulting MRR
+  and runtime breakdown as JSON;
+* ``repro stream ...`` drives the online streaming loop: replay a dataset (or
+  a synthetic drift scenario) as an event stream, ingest it incrementally and
+  report prequential test-then-train MRR plus ingestion/training throughput.
 
 Examples
 --------
@@ -12,6 +16,9 @@ Examples
     python -m repro --dataset wikipedia --backbone graphmixer --variant taser
     python -m repro --dataset reddit --backbone tgat --variant baseline \
         --epochs 10 --num-neighbors 10 --num-candidates 25 --seed 3
+    python -m repro stream --dataset wikipedia --chunk-size 500 \
+        --window-events 2000 --batch-engine prefetch --json
+    python -m repro stream --drift-phases 3 --max-chunks 20 --json
 """
 
 from __future__ import annotations
@@ -25,7 +32,7 @@ from typing import Optional, Sequence
 from .core import TaserConfig, TaserTrainer
 from .graph import DATASET_NAMES, load_dataset
 
-__all__ = ["build_parser", "main"]
+__all__ = ["build_parser", "build_stream_parser", "main", "run", "run_stream"]
 
 VARIANT_FLAGS = {
     "baseline": (False, False),
@@ -35,9 +42,25 @@ VARIANT_FLAGS = {
 }
 
 
+def _positive_int(text: str) -> int:
+    """Argparse type: reject non-positive values at parse time with a clear
+    message instead of letting them surface deep in the engine."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"expected an integer, got {text!r}")
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+    return value
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
-        prog="repro", description="Train a TGNN with or without TASER's adaptive sampling")
+        prog="repro",
+        description="Train a TGNN with or without TASER's adaptive sampling",
+        epilog="Subcommands: 'repro stream ...' runs the online streaming "
+               "loop (incremental ingestion + prequential test-then-train "
+               "evaluation); see 'repro stream --help'.")
     parser.add_argument("--dataset", choices=DATASET_NAMES, default="wikipedia")
     parser.add_argument("--scale", type=float, default=1.0,
                         help="dataset size multiplier")
@@ -58,8 +81,8 @@ def build_parser() -> argparse.ArgumentParser:
                         help="mini-batch engine: synchronous, background "
                              "prefetching, or an ahead-of-time epoch sampling "
                              "plan (all bitwise-identical under a fixed seed)")
-    parser.add_argument("--prefetch-depth", type=int, default=2,
-                        help="bounded-queue depth of the prefetch engine")
+    parser.add_argument("--prefetch-depth", type=_positive_int, default=2,
+                        help="bounded-queue depth of the prefetch engine (>= 1)")
     parser.add_argument("--decoder", choices=["linear", "gat", "gatv2", "transformer"],
                         default="linear")
     parser.add_argument("--cache-ratio", type=float, default=0.2)
@@ -109,7 +132,141 @@ def run(args: argparse.Namespace) -> dict:
     }
 
 
+def build_stream_parser() -> argparse.ArgumentParser:
+    """Parser of the ``repro stream`` subcommand (online streaming loop)."""
+    parser = argparse.ArgumentParser(
+        prog="repro stream",
+        description="Replay a dataset as a live event stream: incremental "
+                    "T-CSR ingestion, sliding-window training and "
+                    "prequential (test-then-train) link-prediction MRR")
+    parser.add_argument("--dataset", choices=DATASET_NAMES, default="wikipedia")
+    parser.add_argument("--scale", type=float, default=1.0,
+                        help="dataset size multiplier")
+    parser.add_argument("--drift-phases", type=_positive_int, default=1,
+                        help="> 1 replays a synthetic drift sequence: the "
+                             "latent communities are redrawn this many times "
+                             "over the stream's lifetime")
+    parser.add_argument("--backbone", choices=["tgat", "graphmixer"],
+                        default="graphmixer")
+    parser.add_argument("--variant", choices=["baseline", "ada-neighbor"],
+                        default="baseline",
+                        help="adaptive mini-batch selection is incompatible "
+                             "with a sliding window, so only these rows stream")
+    parser.add_argument("--warmup-events", type=_positive_int, default=None,
+                        help="events trained offline before streaming starts "
+                             "(default: 20%% of the dataset)")
+    parser.add_argument("--warmup-epochs", type=_positive_int, default=1,
+                        help="offline epochs over the warm-start window")
+    parser.add_argument("--chunk-size", type=_positive_int, default=500,
+                        help="events per arrival chunk")
+    parser.add_argument("--window-events", type=_positive_int, default=2000,
+                        help="sliding training window, in events")
+    parser.add_argument("--train-passes", type=_positive_int, default=1,
+                        help="training passes over the window per chunk")
+    parser.add_argument("--max-chunks", type=_positive_int, default=None,
+                        help="stop after this many chunks")
+    parser.add_argument("--rate", type=float, default=None,
+                        help="rate-limit replay to this many events/second "
+                             "(default: as fast as the loop drains)")
+    parser.add_argument("--eval-events-per-chunk", type=_positive_int, default=256,
+                        help="cap on prequentially scored events per chunk")
+    parser.add_argument("--hidden-dim", type=int, default=32)
+    parser.add_argument("--time-dim", type=int, default=16)
+    parser.add_argument("--num-neighbors", type=int, default=5)
+    parser.add_argument("--num-candidates", type=int, default=10)
+    parser.add_argument("--batch-size", type=int, default=200)
+    parser.add_argument("--batch-engine", choices=["sync", "prefetch"],
+                        default="sync",
+                        help="window training engine (aot is rejected: a plan "
+                             "is invalidated by every ingested chunk)")
+    parser.add_argument("--prefetch-depth", type=_positive_int, default=2,
+                        help="bounded-queue depth of the prefetch engine (>= 1)")
+    parser.add_argument("--cache-ratio", type=float, default=0.2)
+    parser.add_argument("--lr", type=float, default=2e-3)
+    parser.add_argument("--eval-negatives", type=int, default=49)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--json", action="store_true",
+                        help="print the result as a single JSON object only")
+    return parser
+
+
+def run_stream(args: argparse.Namespace) -> dict:
+    """Execute one ``repro stream`` invocation and return its summary dict."""
+    from .core import StreamingTrainer, split_warmup
+    from .graph import dataset_config, generate_drift_sequence
+
+    if args.drift_phases > 1:
+        graph = generate_drift_sequence(
+            dataset_config(args.dataset, scale=args.scale, seed=args.seed),
+            num_phases=args.drift_phases)
+    else:
+        graph = load_dataset(args.dataset, scale=args.scale, seed=args.seed)
+    adaptive_neighbor = args.variant == "ada-neighbor"
+    config = TaserConfig(
+        backbone=args.backbone, adaptive_minibatch=False,
+        adaptive_neighbor=adaptive_neighbor,
+        hidden_dim=args.hidden_dim, time_dim=args.time_dim,
+        num_neighbors=args.num_neighbors, num_candidates=args.num_candidates,
+        batch_size=args.batch_size, batch_engine=args.batch_engine,
+        prefetch_depth=args.prefetch_depth, cache_ratio=args.cache_ratio,
+        lr=args.lr, eval_negatives=args.eval_negatives, seed=args.seed,
+    )
+    warmup = args.warmup_events if args.warmup_events is not None \
+        else max(1, graph.num_edges // 5)
+    start = time.time()
+    warm, stream = split_warmup(graph, warmup_events=warmup,
+                                chunk_size=args.chunk_size, rate=args.rate,
+                                max_chunks=args.max_chunks)
+    trainer = StreamingTrainer(warm, config, window_events=args.window_events,
+                               prequential_max_events=args.eval_events_per_chunk)
+    for _ in range(args.warmup_epochs):
+        trainer.train_epoch()
+    result = trainer.run(stream, train_passes=args.train_passes)
+    summary = {
+        "dataset": args.dataset,
+        "drift_phases": args.drift_phases,
+        "backbone": args.backbone,
+        "variant": "w/ Ada. Neighbor" if adaptive_neighbor else "Baseline",
+        "seed": args.seed,
+        "batch_engine": args.batch_engine,
+        "warmup_events": warmup,
+        "window_events": args.window_events,
+        "chunk_size": args.chunk_size,
+        "wall_clock_seconds": time.time() - start,
+    }
+    summary.update(result.as_dict())
+    return summary
+
+
+def _stream_main(argv: Sequence[str]) -> int:
+    args = build_stream_parser().parse_args(argv)
+    summary = run_stream(args)
+    if args.json:
+        print(json.dumps(summary, indent=2, default=float))
+        return 0
+    print(f"stream {summary['dataset']} / {summary['backbone']} / "
+          f"{summary['variant']} (seed {summary['seed']}, "
+          f"{summary['drift_phases']} phase(s))")
+    print(f"  events ingested : {summary['events_ingested']} "
+          f"in {summary['chunks']} chunks "
+          f"({summary['events_per_second']:.0f} events/s)")
+    print(f"  batches trained : {summary['batches_trained']} "
+          f"({summary['batches_per_second']:.1f} batches/s, "
+          f"engine {summary['batch_engine']})")
+    mrr = summary["prequential_mrr"]
+    print(f"  prequential MRR : {'n/a' if mrr is None else format(mrr, '.4f')}")
+    trajectory = ", ".join("n/a" if m is None else f"{m:.3f}"
+                           for m in summary["mrr_over_time"][:12])
+    suffix = ", ..." if len(summary["mrr_over_time"]) > 12 else ""
+    print(f"  MRR over time   : [{trajectory}{suffix}]")
+    print(f"  wall clock      : {summary['wall_clock_seconds']:.1f}s")
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
+    argv = list(sys.argv[1:]) if argv is None else list(argv)
+    if argv and argv[0] == "stream":
+        return _stream_main(argv[1:])
     args = build_parser().parse_args(argv)
     summary = run(args)
     if args.json:

@@ -14,8 +14,16 @@ from .prefetcher import (PreparedBatch, BatchEngine, SyncBatchEngine,
                          PrefetchBatchEngine, AOTBatchEngine, make_engine,
                          plan_capability, ENGINE_MODES)
 from .trainer import TaserTrainer, TrainResult, EpochStats
+from .streaming import (EventChunk, EventStream, split_warmup, StreamStats,
+                        StreamResult, StreamingTrainer)
 
 __all__ = [
+    "EventChunk",
+    "EventStream",
+    "split_warmup",
+    "StreamStats",
+    "StreamResult",
+    "StreamingTrainer",
     "CandidateSlice",
     "PreparedBatch",
     "BatchEngine",

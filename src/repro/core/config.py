@@ -128,9 +128,16 @@ class TaserConfig:
         if not 0.0 <= self.cache_ratio <= 1.0:
             raise ValueError("cache_ratio must be in [0, 1]")
         if self.batch_engine not in ("sync", "prefetch", "aot"):
-            raise ValueError("batch_engine must be one of 'sync', 'prefetch', 'aot'")
+            raise ValueError(
+                f"unknown batch_engine {self.batch_engine!r}: choose 'sync' "
+                "(generate batches inside the training loop), 'prefetch' "
+                "(background producer thread) or 'aot' (ahead-of-time epoch "
+                "plan); see docs/ARCHITECTURE.md")
         if self.prefetch_depth < 1:
-            raise ValueError("prefetch_depth must be >= 1")
+            raise ValueError(
+                f"prefetch_depth must be >= 1, got {self.prefetch_depth}: it "
+                "is the bounded-queue depth of the 'prefetch' engine (how "
+                "many batches the producer may run ahead of training)")
         if self.adaptive_minibatch and self.finder == "tgl":
             raise ValueError(
                 "the TGL pointer-array finder only supports chronological order and "

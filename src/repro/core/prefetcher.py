@@ -135,6 +135,27 @@ class BatchEngine:
     An engine owns the epoch loop's data side: it walks the selector's
     schedule, assembles root queries (drawing negatives), and produces
     :class:`PreparedBatch` items for the trainer to consume.
+
+    Lifecycle (driven by ``TaserTrainer.train_epoch``):
+
+    1. :meth:`begin_epoch` — quiesce leftovers from an abandoned epoch
+       *before* the trainer resets finder/timer state;
+    2. :meth:`epoch` — yield the epoch's :class:`PreparedBatch` items;
+    3. :meth:`collect_timings` — fold engine-side phase timings into the
+       trainer's timer at the epoch boundary;
+    4. :meth:`shutdown` — release resources (threads) when the engine is
+       replaced or the trainer is done.
+
+    Engines read ``trainer.{config, selector, split, graph, generator,
+    negative_sampler, finder, tcsr, timer}`` dynamically, so a trainer may
+    re-point those between epochs (the streaming subsystem rebuilds the
+    engine per sliding window for exactly this reason).
+
+    Parameters
+    ----------
+    trainer:
+        The owning :class:`~repro.core.trainer.TaserTrainer` (or a subclass
+        such as the streaming trainer).
     """
 
     mode = "sync"
@@ -208,7 +229,12 @@ class BatchEngine:
 
 
 class SyncBatchEngine(BatchEngine):
-    """Reference engine: batch generation inside the training loop."""
+    """Reference engine: batch generation inside the training loop.
+
+    Identical to the base class; the explicit subclass exists so
+    ``config.batch_engine = "sync"`` resolves to a concrete named type and
+    the other engines can be asserted bitwise-identical against it.
+    """
 
 
 class PrefetchBatchEngine(BatchEngine):
@@ -220,6 +246,10 @@ class PrefetchBatchEngine(BatchEngine):
     overlap.  Phase times measured inside the producer are recorded in a
     private timer and merged into the trainer's timer at the epoch boundary,
     keeping the paper's NF/FS/AS breakdown accurate.
+
+    The queue depth comes from ``config.prefetch_depth`` (>= 1, validated at
+    config-parse time): how many prepared batches the producer may run ahead
+    of the consumer, bounding both staleness and memory.
     """
 
     mode = "prefetch"

@@ -103,7 +103,7 @@ class TaserTrainer:
          _rng_finder, _rng_misc) = spawn_rngs(cfg.seed, 6)
 
         # --- substrate: T-CSR + neighbor finder + memory hierarchy -----------------
-        self.tcsr = build_tcsr(self.graph)
+        self.tcsr = self._build_tcsr(self.graph)
         self.finder = make_finder(cfg.finder, self.tcsr,
                                   policy=cfg.resolved_finder_policy, seed=cfg.seed)
         self.cache = None
@@ -159,6 +159,11 @@ class TaserTrainer:
 
         self.history: List[EpochStats] = []
         self._epoch = 0
+
+    def _build_tcsr(self, graph: TemporalGraph):
+        """T-CSR construction hook (the streaming trainer substitutes an
+        incremental builder whose snapshots are bitwise-identical)."""
+        return build_tcsr(graph)
 
     # ------------------------------------------------------------------ training
 

@@ -70,6 +70,33 @@ class FeatureCache:
     def _replace(self) -> None:
         """Replacement policy hook (default: static, never replaces)."""
 
+    def grow(self, num_edges: int, capacity: Optional[int] = None) -> None:
+        """Extend the cacheable edge-id universe (streaming ingestion).
+
+        Newly appended edges start uncached; the replacement policy adopts
+        them at the next epoch boundary once their access frequencies exist.
+        ``capacity`` optionally raises the cache capacity along with the
+        universe (e.g. to keep a fixed VRAM ratio); shrinking is rejected so
+        cached content never has to be evicted mid-epoch.
+        """
+        # Validate both arguments before mutating anything, so a rejected
+        # call leaves the cache fully consistent.
+        if num_edges < self.num_edges:
+            raise ValueError(
+                f"cannot shrink the edge universe ({self.num_edges} -> {num_edges})")
+        if capacity is not None:
+            if capacity < self.capacity:
+                raise ValueError(
+                    f"cannot shrink cache capacity ({self.capacity} -> {capacity})")
+            if capacity > num_edges:
+                raise ValueError("capacity must not exceed num_edges")
+        extra = num_edges - self.num_edges
+        if extra:
+            self.cached = np.concatenate([self.cached, np.zeros(extra, dtype=bool)])
+        self.num_edges = num_edges
+        if capacity is not None:
+            self.capacity = capacity
+
     # -- helpers ---------------------------------------------------------------
 
     @property
@@ -111,6 +138,13 @@ class DynamicFeatureCache(FeatureCache):
 
     def _record(self, edge_ids: np.ndarray) -> None:
         np.add.at(self.frequency, edge_ids, 1)
+
+    def grow(self, num_edges: int, capacity: Optional[int] = None) -> None:
+        extra = num_edges - self.num_edges
+        super().grow(num_edges, capacity=capacity)
+        if extra > 0:
+            self.frequency = np.concatenate(
+                [self.frequency, np.zeros(extra, dtype=np.int64)])
 
     def _top_k(self) -> np.ndarray:
         if self.capacity == 0:

@@ -1,8 +1,8 @@
 """Dynamic-graph substrate: event lists, T-CSR, generators, noise, splits."""
 
 from .temporal_graph import TemporalGraph
-from .tcsr import TCSR, build_tcsr
-from .generators import CTDGConfig, generate_ctdg
+from .tcsr import TCSR, build_tcsr, StreamingTCSR
+from .generators import CTDGConfig, generate_ctdg, generate_drift_sequence
 from .datasets import DATASET_NAMES, dataset_config, load_dataset, dataset_table
 from .noise import (NoiseReport, measure_noise, inject_random_edges,
                     perturb_edge_features, drop_events)
@@ -12,8 +12,10 @@ __all__ = [
     "TemporalGraph",
     "TCSR",
     "build_tcsr",
+    "StreamingTCSR",
     "CTDGConfig",
     "generate_ctdg",
+    "generate_drift_sequence",
     "DATASET_NAMES",
     "dataset_config",
     "load_dataset",

@@ -30,7 +30,7 @@ that the planted structure is present.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Dict, Optional
 
 import numpy as np
@@ -38,7 +38,7 @@ import numpy as np
 from ..utils.rng import new_rng
 from .temporal_graph import TemporalGraph
 
-__all__ = ["CTDGConfig", "generate_ctdg"]
+__all__ = ["CTDGConfig", "generate_ctdg", "generate_drift_sequence"]
 
 
 @dataclass
@@ -244,3 +244,48 @@ def generate_ctdg(config: CTDGConfig) -> TemporalGraph:
         node_feat=node_feat,
         meta=meta,
     )
+
+
+def generate_drift_sequence(config: CTDGConfig, num_phases: int = 2) -> TemporalGraph:
+    """Concatenate ``num_phases`` regimes of the same CTDG into one stream.
+
+    A synthetic *drift scenario* for the streaming subsystem: every phase
+    redraws the latent structure (community assignments, popularity, feature
+    embeddings) from a phase-specific seed over the **same node universe**,
+    and phases occupy consecutive time windows of length ``config.time_span``.
+    A model trained online therefore sees its learned structure invalidated
+    at every phase boundary — the streaming analogue of the paper's
+    deprecated-link noise, stress-testing how quickly the online loop
+    re-adapts after ingesting post-drift events.
+
+    Node features (static by construction) come from the first phase; edge
+    features are drawn per phase, so their community encoding shifts at each
+    boundary.  The returned graph is chronological, and its ``meta`` records
+    ``phase_boundaries`` — the event index where each new phase begins — plus
+    the per-phase metadata under ``phases``.
+    """
+    if num_phases < 1:
+        raise ValueError("num_phases must be >= 1")
+    graphs = [generate_ctdg(replace(config, seed=config.seed + 7919 * p,
+                                    name=f"{config.name}-phase{p}"))
+              for p in range(num_phases)]
+    boundaries = np.cumsum([g.num_edges for g in graphs])[:-1]
+    src = np.concatenate([g.src for g in graphs])
+    dst = np.concatenate([g.dst for g in graphs])
+    ts = np.concatenate([g.ts + p * config.time_span
+                         for p, g in enumerate(graphs)])
+    edge_feat = None if config.edge_dim == 0 \
+        else np.concatenate([g.edge_feat for g in graphs])
+    meta = {
+        "name": f"{config.name}-drift",
+        "bipartite": config.bipartite,
+        "num_src": graphs[0].meta["num_src"],
+        "num_dst": graphs[0].meta["num_dst"],
+        "num_phases": num_phases,
+        "phase_boundaries": boundaries,
+        "phases": [g.meta for g in graphs],
+        "config": config,
+    }
+    return TemporalGraph(src=src, dst=dst, ts=ts, num_nodes=config.num_nodes,
+                         edge_feat=edge_feat, node_feat=graphs[0].node_feat,
+                         meta=meta)

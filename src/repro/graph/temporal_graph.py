@@ -95,6 +95,100 @@ class TemporalGraph:
         return (f"TemporalGraph(|V|={self.num_nodes}, |E|={self.num_edges}, "
                 f"d_v={self.node_dim}, d_e={self.edge_dim})")
 
+    # -- streaming ingestion ----------------------------------------------------------
+
+    def append_events(self, src: np.ndarray, dst: np.ndarray, ts: np.ndarray,
+                      edge_feat: Optional[np.ndarray] = None) -> "TemporalGraph":
+        """Append a chunk of chronologically ordered events **in place**.
+
+        The event arrays are backed by private over-allocated buffers that
+        grow with amortized doubling, so repeated appends cost ``O(chunk)``
+        amortized rather than ``O(E)`` per call; the public ``src``/``dst``/
+        ``ts``/``edge_feat`` attributes are re-pointed at views of the live
+        prefix after every append.  Consumers that read those attributes
+        through the graph object (e.g. the device
+        :class:`~repro.device.memory.FeatureStore`, which slices
+        ``graph.edge_feat`` on every request) therefore stay consistent
+        without any re-registration.
+
+        Constraints enforced with actionable errors:
+
+        * node ids must lie in ``[0, num_nodes)`` — streaming does not grow
+          the node set (presets have a fixed node universe);
+        * timestamps must be non-decreasing within the chunk and must not
+          precede the latest existing event (chronological ingestion);
+        * ``edge_feat`` must be present with matching width iff the graph
+          already has edge features.
+
+        ``meta`` is left untouched: planted ground-truth arrays keep
+        describing the originally generated events.
+
+        Returns ``self`` for chaining.
+        """
+        src = np.ascontiguousarray(src, dtype=np.int64)
+        dst = np.ascontiguousarray(dst, dtype=np.int64)
+        ts = np.ascontiguousarray(ts, dtype=np.float64)
+        if not (src.shape == dst.shape == ts.shape) or src.ndim != 1:
+            raise ValueError("appended src, dst and ts must be identical 1-D arrays")
+        k = int(src.size)
+        if k == 0:
+            return self
+        if min(src.min(), dst.min()) < 0 \
+                or max(src.max(), dst.max()) >= self.num_nodes:
+            raise ValueError(
+                f"appended node id out of range [0, {self.num_nodes}); "
+                "streaming ingestion does not grow the node set")
+        if np.any(np.diff(ts) < 0):
+            raise ValueError("appended events must be sorted chronologically")
+        if self.num_edges and ts[0] < self.ts[-1]:
+            raise ValueError(
+                f"appended events must not precede existing ones "
+                f"(got timestamp {float(ts[0])!r} after {float(self.ts[-1])!r})")
+        if (edge_feat is None) != (self.edge_feat is None):
+            raise ValueError(
+                "appended chunk must carry edge features iff the graph has them "
+                f"(graph edge_dim={self.edge_dim}, chunk has "
+                f"{'no features' if edge_feat is None else 'features'})")
+        if edge_feat is not None:
+            edge_feat = np.ascontiguousarray(edge_feat, dtype=np.float32)
+            if edge_feat.shape != (k, self.edge_dim):
+                raise ValueError(
+                    f"appended edge_feat must have shape ({k}, {self.edge_dim}), "
+                    f"got {edge_feat.shape}")
+
+        n = self.num_edges
+        self._ensure_event_capacity(n + k)
+        self._buf_src[n:n + k] = src
+        self._buf_dst[n:n + k] = dst
+        self._buf_ts[n:n + k] = ts
+        self.src = self._buf_src[:n + k]
+        self.dst = self._buf_dst[:n + k]
+        self.ts = self._buf_ts[:n + k]
+        if edge_feat is not None:
+            self._buf_edge_feat[n:n + k] = edge_feat
+            self.edge_feat = self._buf_edge_feat[:n + k]
+        return self
+
+    def _ensure_event_capacity(self, total: int) -> None:
+        """Grow the private event buffers geometrically to hold ``total`` rows."""
+        capacity = getattr(self, "_event_capacity", 0)
+        if total <= capacity:
+            return
+        new_capacity = max(total, 2 * capacity, 2 * self.num_edges, 64)
+        n = self.num_edges
+        buf_src = np.zeros(new_capacity, dtype=np.int64)
+        buf_dst = np.zeros(new_capacity, dtype=np.int64)
+        buf_ts = np.zeros(new_capacity, dtype=np.float64)
+        buf_src[:n] = self.src
+        buf_dst[:n] = self.dst
+        buf_ts[:n] = self.ts
+        self._buf_src, self._buf_dst, self._buf_ts = buf_src, buf_dst, buf_ts
+        if self.edge_feat is not None:
+            buf_feat = np.zeros((new_capacity, self.edge_dim), dtype=np.float32)
+            buf_feat[:n] = self.edge_feat
+            self._buf_edge_feat = buf_feat
+        self._event_capacity = new_capacity
+
     # -- transforms -----------------------------------------------------------------
 
     def sort_by_time(self) -> "TemporalGraph":

@@ -140,7 +140,30 @@ class NeighborBatch:
 
 
 class NeighborFinder:
-    """Abstract batched temporal neighbor finder over a T-CSR graph."""
+    """Abstract batched temporal neighbor finder over a T-CSR graph.
+
+    Concrete finders (``original`` per-query CPU, ``tgl`` pointer-array,
+    ``gpu`` block-centric vectorised) share this interface and are built via
+    :func:`repro.sampling.make_finder`.  A finder is **stateless with respect
+    to the graph**: it holds a reference to one immutable
+    :class:`~repro.graph.tcsr.TCSR` snapshot, which is how the streaming
+    subsystem swaps in a fresh snapshot per ingested chunk.
+
+    Parameters
+    ----------
+    tcsr:
+        The temporal CSR adjacency to answer queries against.
+    policy:
+        Static sampling policy for oversubscribed neighborhoods:
+        ``"uniform"`` (uniform without replacement, consumes RNG),
+        ``"recent"`` (deterministic most-recent — the policy the AOT batch
+        engine can vectorise over a whole epoch), or ``"inverse_timespan"``
+        (probability proportional to 1 / (t - t_u)).
+    seed:
+        Seed of the finder's private RNG stream.  Engines rely on every
+        stochastic draw happening in exactly the training order, so the RNG
+        must never be shared across threads.
+    """
 
     #: human-readable name used by the benchmark harness.
     name: str = "abstract"
@@ -157,8 +180,27 @@ class NeighborFinder:
         self.rng = np.random.default_rng(seed)
 
     def sample(self, nodes: np.ndarray, times: np.ndarray, budget: int) -> NeighborBatch:
-        """Sample up to ``budget`` past neighbors for each ``(node, time)`` query."""
+        """Sample up to ``budget`` past neighbors for each ``(node, time)`` query.
+
+        Parameters
+        ----------
+        nodes, times:
+            Parallel ``(B,)`` arrays of query roots and query timestamps.
+        budget:
+            Maximum neighbors per root; shorter neighborhoods are padded (see
+            :class:`NeighborBatch` and :meth:`NeighborBatch.check_padding`).
+
+        Returns
+        -------
+        NeighborBatch
+            Padded ``(B, budget)`` arrays with a validity mask.  Every valid
+            entry is strictly earlier than its query time (causality).
+        """
         raise NotImplementedError
 
     def reset(self) -> None:
-        """Reset any internal state (pointer arrays, RNG is preserved)."""
+        """Reset any internal state (pointer arrays; the RNG is preserved).
+
+        Called by the trainer at every epoch boundary for finders with
+        ``requires_chronological=True``.
+        """

@@ -222,6 +222,32 @@ class TestDatasets:
         with pytest.raises(ValueError):
             dataset_config("wikipedia", scale=0)
 
+    @pytest.mark.parametrize("name", DATASET_NAMES)
+    def test_scale_multiplies_event_counts_linearly(self, name):
+        base = dataset_config(name, scale=1.0).num_events
+        for scale in (0.1, 0.5, 2.0):
+            cfg = dataset_config(name, scale=scale)
+            assert cfg.num_events == int(base * scale)
+            g = generate_ctdg(cfg)
+            assert g.num_edges == cfg.num_events
+
+    @pytest.mark.parametrize("scale", [0.05, 0.5, 2.0])
+    def test_scaled_presets_split_validly(self, scale):
+        for name in ("wikipedia", "flights"):
+            g = load_dataset(name, scale=scale, seed=1)
+            split = chronological_split(g)
+            split.check_invariants()
+            assert split.num_train + split.num_val + split.num_test == g.num_edges
+            assert split.num_train > 0 and split.num_test > 0
+
+    def test_scale_grows_node_counts_sublinearly(self):
+        small = load_dataset("wikipedia", scale=0.25, seed=0)
+        large = load_dataset("wikipedia", scale=4.0, seed=0)
+        # Nodes follow sqrt(scale): a 16x event gap is a ~4x node gap, so
+        # density (events per node) grows with scale, as in real graphs.
+        assert large.num_nodes < 16 * small.num_nodes
+        assert large.num_edges / large.num_nodes > small.num_edges / small.num_nodes
+
 
 class TestNoiseInjection:
     def test_inject_random_edges(self, small_graph):

@@ -88,6 +88,23 @@ class TestCLI:
         assert aot["test_mrr"] == sync["test_mrr"]
         assert aot["final_model_loss"] == sync["final_model_loss"]
 
+    def test_prefetch_depth_validated_at_parse_time(self, capsys):
+        """Bad --prefetch-depth values fail in argparse with a clear message,
+        not deep inside the engine."""
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["--prefetch-depth", "0"])
+        assert "must be >= 1" in capsys.readouterr().err
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["--prefetch-depth", "two"])
+        assert "expected an integer" in capsys.readouterr().err
+
+    def test_config_rejects_bad_engine_settings_with_actionable_errors(self):
+        from repro.core import TaserConfig
+        with pytest.raises(ValueError, match="choose 'sync'"):
+            TaserConfig(batch_engine="warp")
+        with pytest.raises(ValueError, match="prefetch_depth must be >= 1, got -3"):
+            TaserConfig(prefetch_depth=-3)
+
     def test_main_json_output(self, capsys):
         code = main([
             "--scale", "0.05", "--variant", "ada-minibatch",
@@ -101,3 +118,62 @@ class TestCLI:
         payload = json.loads(capsys.readouterr().out)
         assert payload["variant"] == "w/ Ada. Mini-Batch"
         assert 0.0 <= payload["test_mrr"] <= 1.0
+
+
+class TestStreamCLI:
+    STREAM_ARGS = [
+        "stream", "--dataset", "wikipedia", "--scale", "0.05",
+        "--warmup-events", "150", "--chunk-size", "80",
+        "--window-events", "150", "--batch-size", "64",
+        "--hidden-dim", "8", "--time-dim", "4",
+        "--num-neighbors", "3", "--num-candidates", "6",
+        "--eval-negatives", "5", "--eval-events-per-chunk", "20",
+    ]
+
+    def test_stream_json_output(self, capsys):
+        code = main(self.STREAM_ARGS + ["--json"])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["chunks"] == 2
+        assert payload["events_ingested"] == 150
+        assert payload["events_per_second"] > 0
+        assert payload["batches_per_second"] > 0
+        assert 0.0 <= payload["prequential_mrr"] <= 1.0
+        assert len(payload["mrr_over_time"]) == payload["chunks"]
+
+    def test_stream_text_output(self, capsys):
+        assert main(self.STREAM_ARGS) == 0
+        out = capsys.readouterr().out
+        assert "prequential MRR" in out
+        assert "events ingested" in out
+
+    def test_stream_reproducible_across_engines(self, capsys):
+        main(self.STREAM_ARGS + ["--json", "--batch-engine", "sync"])
+        sync = json.loads(capsys.readouterr().out)
+        main(self.STREAM_ARGS + ["--json", "--batch-engine", "prefetch"])
+        prefetch = json.loads(capsys.readouterr().out)
+        assert sync["mrr_over_time"] == prefetch["mrr_over_time"]
+
+    def test_stream_rejects_aot_and_bad_depth(self, capsys):
+        with pytest.raises(SystemExit):
+            main(self.STREAM_ARGS + ["--batch-engine", "aot"])
+        capsys.readouterr()
+        with pytest.raises(SystemExit):
+            main(self.STREAM_ARGS + ["--prefetch-depth", "0"])
+        assert "must be >= 1" in capsys.readouterr().err
+        with pytest.raises(SystemExit):
+            main(self.STREAM_ARGS + ["--drift-phases", "0"])
+        assert "must be >= 1" in capsys.readouterr().err
+
+    def test_stream_drift_scenario(self, capsys):
+        code = main(["stream", "--dataset", "wikipedia", "--scale", "0.02",
+                     "--drift-phases", "2", "--warmup-events", "100",
+                     "--chunk-size", "70", "--window-events", "100",
+                     "--batch-size", "50", "--hidden-dim", "8",
+                     "--time-dim", "4", "--num-neighbors", "3",
+                     "--num-candidates", "6", "--eval-negatives", "5",
+                     "--eval-events-per-chunk", "15", "--json"])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["drift_phases"] == 2
+        assert payload["events_ingested"] == 140
