@@ -1,0 +1,151 @@
+"""Shard scaling — the data-parallel training subsystem.
+
+Not a paper table: this benchmark tracks the sharding axis of the north-star
+(TGL-style event-log partitioning across workers).  It trains the same
+chronological baseline cell under increasing worker counts ``W`` through
+:class:`~repro.distributed.ShardedTrainer` (thread pool backend) and
+records, per ``W``:
+
+* wall-clock per epoch, trained-events **throughput** and the weak-scaling
+  efficiency vs ``W = 1`` (every worker trains ``batch_size`` events per
+  barrier step, so useful work per epoch grows with ``W``; efficiency is
+  ``throughput_W / (W * throughput_1)`` and reaches 1.0 only when the
+  hardware has ``W`` free cores — single-core hosts honestly report the
+  barrier + contention overhead instead);
+* the per-shard NF/FS/AS/PP phase breakdown (each shard's batch generation
+  runs through its own engine, so the breakdown shows where the parallel
+  time goes) plus the master-side gradient-averaging ``SYNC`` time;
+* the shard plan summary (events and cache-budget slice per shard).
+
+Correctness contracts asserted at every scale:
+
+* ``W = 1`` produces a **bitwise-identical** loss trajectory to the plain
+  single-process :class:`~repro.core.TaserTrainer`;
+* ``W = 2`` reproduces exactly under the same seed — recorded as a
+  ``determinism`` hash pair (run vs replay) that ``tools/bench_gate.py``
+  checks for equality, so a determinism break fails CI even if the
+  assertion itself were lost.
+
+Results land in ``BENCH_shard_scaling.json`` for CI artifacts and the
+benchmark regression gate.
+"""
+
+import hashlib
+import json
+import time
+
+import pytest
+
+from repro.bench import bench_scale, emit_bench_json, quick_config
+from repro.core import TaserTrainer
+from repro.distributed import ShardedTrainer
+
+
+def _loss_trajectory_hash(trajectories) -> str:
+    """Stable digest of a per-epoch loss-trajectory list (full float repr)."""
+    blob = json.dumps(trajectories, sort_keys=True).encode()
+    return hashlib.sha256(blob).hexdigest()[:16]
+
+
+def _run_sharded(graph, config, workers, epochs, policy="temporal"):
+    with ShardedTrainer(graph, config, num_workers=workers,
+                        shard_policy=policy, backend="thread") as trainer:
+        start = time.perf_counter()
+        for _ in range(epochs):
+            trainer.train_epoch()
+        wall = (time.perf_counter() - start) / max(epochs, 1)
+        trajectories = [stats.batch_losses for stats in trainer.history]
+        # Per-shard phase totals across epochs (NF/FS/AS/PP per shard).
+        per_shard = [{} for _ in range(workers)]
+        sync_seconds = 0.0
+        for stats in trainer.history:
+            sync_seconds += stats.sync_seconds
+            for shard_summary in stats.per_shard:
+                acc = per_shard[shard_summary["shard"]]
+                for key, value in shard_summary["runtime"].items():
+                    acc[key] = acc.get(key, 0.0) + value
+        return {
+            "wall_seconds_per_epoch": wall,
+            "sync_seconds": sync_seconds / max(epochs, 1),
+            "per_shard_phases": per_shard,
+            "plan": trainer.plan.describe(),
+            "global_steps_per_epoch": trainer.history[-1].global_steps,
+        }, trajectories
+
+
+@pytest.mark.paper("sharding (north-star extension)")
+def test_shard_scaling(benchmark, wikipedia_graph):
+    config = quick_config(
+        backbone="graphmixer", adaptive_minibatch=False, adaptive_neighbor=False,
+        batch_engine="sync", batch_size=150, max_batches_per_epoch=8,
+        num_neighbors=5, num_candidates=5, eval_negatives=10, seed=0)
+    epochs = config.epochs
+    worker_counts = (1, 2, 4) if bench_scale() >= 0.5 else (1, 2)
+
+    def experiment():
+        results = {}
+        for w in worker_counts:
+            entry, trajectories = _run_sharded(wikipedia_graph, config, w, epochs)
+            entry["loss_hash"] = _loss_trajectory_hash(trajectories)
+            results[w] = (entry, trajectories)
+        return results
+
+    results = benchmark.pedantic(experiment, rounds=1, iterations=1)
+
+    # -- contract: W = 1 is bitwise-identical to the single-process trainer.
+    reference = TaserTrainer(wikipedia_graph, config)
+    reference_trajectories = [reference.train_epoch().batch_losses
+                              for _ in range(epochs)]
+    _, w1_trajectories = results[1]
+    assert w1_trajectories == reference_trajectories, \
+        "ShardedTrainer(W=1) must match TaserTrainer bitwise"
+
+    # -- contract: W = 2 reproduces exactly under the same seed.
+    _, w2_trajectories = results[2]
+    _, replay_trajectories = _run_sharded(wikipedia_graph, config, 2, epochs)
+    assert replay_trajectories == w2_trajectories, \
+        "ShardedTrainer(W=2) must reproduce under a fixed seed"
+
+    payload = {
+        "epochs": epochs,
+        "worker_counts": list(worker_counts),
+        "workers": {},
+        "w1_matches_single_trainer": True,
+        "determinism": {
+            "hash": _loss_trajectory_hash(w2_trajectories),
+            "replay_hash": _loss_trajectory_hash(replay_trajectories),
+        },
+    }
+    for w in worker_counts:
+        entry, _ = results[w]
+        wall = entry["wall_seconds_per_epoch"]
+        # Weak scaling: every worker trains batch_size events per barrier
+        # step, so trained events per epoch grow with W.
+        trained_events = entry["global_steps_per_epoch"] * config.batch_size * w
+        entry["trained_events_per_second"] = trained_events / wall if wall \
+            else float("inf")
+        payload["workers"][str(w)] = entry
+    base_throughput = payload["workers"]["1"]["trained_events_per_second"]
+    for w in worker_counts:
+        entry = payload["workers"][str(w)]
+        speedup = (entry["trained_events_per_second"] / base_throughput
+                   if base_throughput else float("inf"))
+        entry["speedup_vs_w1"] = speedup
+        entry["efficiency"] = speedup / w
+
+    print("\nShard scaling (wikipedia, graphmixer baseline, thread pool)")
+    for w in worker_counts:
+        entry = payload["workers"][str(w)]
+        print(f"  W={w}: {entry['wall_seconds_per_epoch']*1e3:7.1f} ms/epoch, "
+              f"{entry['trained_events_per_second']:8.0f} events/s, "
+              f"speedup {entry['speedup_vs_w1']:.2f}x, "
+              f"efficiency {entry['efficiency']:.2f}, "
+              f"shards {entry['plan']['shard_events']}")
+
+    assert payload["determinism"]["hash"] == payload["determinism"]["replay_hash"]
+    # Epoch length is the min shard batch count — every step is a W-way barrier.
+    for w in worker_counts:
+        assert payload["workers"][str(w)]["global_steps_per_epoch"] >= 1
+
+    benchmark.extra_info["shard_scaling"] = payload
+    emit_bench_json("shard_scaling", payload)

@@ -1,10 +1,14 @@
 """Command-line experiment runner.
 
-Two entry points share the ``repro`` command:
+Three entry points share the ``repro`` command:
 
 * the default (offline) runner trains one (dataset, backbone, variant) cell —
   the same cells the Table I benchmark sweeps — and prints the resulting MRR
   and runtime breakdown as JSON;
+* ``repro train ...`` is the sharded data-parallel runner: the event log is
+  partitioned into ``--workers`` shards (``--shard-policy temporal|hash``),
+  trained in lock-step with gradient averaging at batch barriers
+  (``--workers 1`` is bitwise-identical to the default runner's trainer);
 * ``repro stream ...`` drives the online streaming loop: replay a dataset (or
   a synthetic drift scenario) as an event stream, ingest it incrementally and
   report prequential test-then-train MRR plus ingestion/training throughput.
@@ -16,6 +20,8 @@ Examples
     python -m repro --dataset wikipedia --backbone graphmixer --variant taser
     python -m repro --dataset reddit --backbone tgat --variant baseline \
         --epochs 10 --num-neighbors 10 --num-candidates 25 --seed 3
+    python -m repro train --dataset wikipedia --workers 4 \
+        --shard-policy temporal --worker-backend thread --json
     python -m repro stream --dataset wikipedia --chunk-size 500 \
         --window-events 2000 --batch-engine prefetch --json
     python -m repro stream --drift-phases 3 --max-chunks 20 --json
@@ -32,7 +38,8 @@ from typing import Optional, Sequence
 from .core import TaserConfig, TaserTrainer
 from .graph import DATASET_NAMES, load_dataset
 
-__all__ = ["build_parser", "build_stream_parser", "main", "run", "run_stream"]
+__all__ = ["build_parser", "build_stream_parser", "build_train_parser", "main",
+           "run", "run_stream", "run_train"]
 
 VARIANT_FLAGS = {
     "baseline": (False, False),
@@ -54,18 +61,18 @@ def _positive_int(text: str) -> int:
     return value
 
 
-def build_parser() -> argparse.ArgumentParser:
-    parser = argparse.ArgumentParser(
-        prog="repro",
-        description="Train a TGNN with or without TASER's adaptive sampling",
-        epilog="Subcommands: 'repro stream ...' runs the online streaming "
-               "loop (incremental ingestion + prequential test-then-train "
-               "evaluation); see 'repro stream --help'.")
+def _add_training_cell_args(parser: argparse.ArgumentParser,
+                            variant_default: str,
+                            engine_help: str) -> None:
+    """The (dataset, backbone, variant) cell flags shared by the default
+    runner and ``repro train`` — one definition, so the parsers cannot
+    drift."""
     parser.add_argument("--dataset", choices=DATASET_NAMES, default="wikipedia")
     parser.add_argument("--scale", type=float, default=1.0,
                         help="dataset size multiplier")
     parser.add_argument("--backbone", choices=["tgat", "graphmixer"], default="graphmixer")
-    parser.add_argument("--variant", choices=sorted(VARIANT_FLAGS), default="taser")
+    parser.add_argument("--variant", choices=sorted(VARIANT_FLAGS),
+                        default=variant_default)
     parser.add_argument("--epochs", type=int, default=5)
     parser.add_argument("--batch-size", type=int, default=200)
     parser.add_argument("--max-batches-per-epoch", type=int, default=None)
@@ -77,10 +84,7 @@ def build_parser() -> argparse.ArgumentParser:
                         help="m: candidate neighbors pre-sampled by the finder")
     parser.add_argument("--finder", choices=["gpu", "original", "tgl"], default="gpu")
     parser.add_argument("--batch-engine", choices=["sync", "prefetch", "aot"],
-                        default="sync",
-                        help="mini-batch engine: synchronous, background "
-                             "prefetching, or an ahead-of-time epoch sampling "
-                             "plan (all bitwise-identical under a fixed seed)")
+                        default="sync", help=engine_help)
     parser.add_argument("--prefetch-depth", type=_positive_int, default=2,
                         help="bounded-queue depth of the prefetch engine (>= 1)")
     parser.add_argument("--decoder", choices=["linear", "gat", "gatv2", "transformer"],
@@ -92,13 +96,12 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("--json", action="store_true",
                         help="print the result as a single JSON object only")
-    return parser
 
 
-def run(args: argparse.Namespace) -> dict:
+def _taser_config(args: argparse.Namespace) -> TaserConfig:
+    """Build the shared TaserConfig from the training-cell flags."""
     adaptive_minibatch, adaptive_neighbor = VARIANT_FLAGS[args.variant]
-    graph = load_dataset(args.dataset, scale=args.scale, seed=args.seed)
-    config = TaserConfig(
+    return TaserConfig(
         backbone=args.backbone,
         adaptive_minibatch=adaptive_minibatch,
         adaptive_neighbor=adaptive_neighbor,
@@ -111,6 +114,28 @@ def run(args: argparse.Namespace) -> dict:
         lr=args.lr, eval_negatives=args.eval_negatives,
         eval_max_edges=args.eval_max_edges, seed=args.seed,
     )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Train a TGNN with or without TASER's adaptive sampling",
+        epilog="Subcommands: 'repro train ...' runs sharded data-parallel "
+               "training (event-log shards, gradient averaging at batch "
+               "barriers); 'repro stream ...' runs the online streaming loop "
+               "(incremental ingestion + prequential test-then-train "
+               "evaluation); see 'repro train --help' / 'repro stream --help'.")
+    _add_training_cell_args(
+        parser, variant_default="taser",
+        engine_help="mini-batch engine: synchronous, background prefetching, "
+                    "or an ahead-of-time epoch sampling plan (all "
+                    "bitwise-identical under a fixed seed)")
+    return parser
+
+
+def run(args: argparse.Namespace) -> dict:
+    graph = load_dataset(args.dataset, scale=args.scale, seed=args.seed)
+    config = _taser_config(args)
     start = time.time()
     trainer = TaserTrainer(graph, config)
     result = trainer.fit()
@@ -130,6 +155,90 @@ def run(args: argparse.Namespace) -> dict:
         "cache_hit_rates": result.cache_hit_rates,
         "wall_clock_seconds": time.time() - start,
     }
+
+
+def build_train_parser() -> argparse.ArgumentParser:
+    """Parser of the ``repro train`` subcommand (sharded data-parallel)."""
+    parser = argparse.ArgumentParser(
+        prog="repro train",
+        description="Sharded data-parallel training: partition the event log "
+                    "into worker shards, generate mini-batches per shard "
+                    "through independent engines, and synchronize replicas "
+                    "with deterministic gradient averaging at batch barriers "
+                    "(--workers 1 is bitwise-identical to the default runner)")
+    parser.add_argument("--workers", type=_positive_int, default=2,
+                        help="W: number of event-log shards / worker replicas")
+    parser.add_argument("--shard-policy", choices=["temporal", "hash"],
+                        default="temporal",
+                        help="'temporal' = W contiguous chronological ranges; "
+                             "'hash' = route events by source node so "
+                             "per-source histories stay intact")
+    parser.add_argument("--worker-backend", choices=["serial", "thread", "process"],
+                        default="thread",
+                        help="worker pool: 'serial' (reference, sequential), "
+                             "'thread' (numpy kernels overlap across shards) "
+                             "or 'process' (one child process per shard)")
+    _add_training_cell_args(parser, variant_default="baseline",
+                            engine_help="per-shard mini-batch engine")
+    return parser
+
+
+def run_train(args: argparse.Namespace) -> dict:
+    """Execute one ``repro train`` invocation and return its summary dict."""
+    from .distributed import ShardedTrainer
+
+    graph = load_dataset(args.dataset, scale=args.scale, seed=args.seed)
+    config = _taser_config(args)
+    start = time.time()
+    with ShardedTrainer(graph, config, num_workers=args.workers,
+                        shard_policy=args.shard_policy,
+                        backend=args.worker_backend) as trainer:
+        result = trainer.fit()
+        last = trainer.history[-1] if trainer.history else None
+        return {
+            "dataset": args.dataset,
+            "backbone": args.backbone,
+            "variant": result.variant,
+            "seed": args.seed,
+            "epochs": args.epochs,
+            "workers": args.workers,
+            "shard_policy": args.shard_policy,
+            "worker_backend": args.worker_backend,
+            "batch_engine": args.batch_engine,
+            "shard_plan": trainer.plan.describe(),
+            "global_steps_per_epoch": last.global_steps if last else 0,
+            "val_mrr": result.val_mrr,
+            "test_mrr": result.test_mrr,
+            "test_metrics": result.test_metrics,
+            "final_model_loss": (result.history[-1].model_loss
+                                 if result.history else None),
+            "runtime_breakdown_seconds": result.runtime_breakdown,
+            "sync_seconds": sum(s.sync_seconds for s in trainer.history),
+            "cache_hit_rates": result.cache_hit_rates,
+            "wall_clock_seconds": time.time() - start,
+        }
+
+
+def _train_main(argv: Sequence[str]) -> int:
+    args = build_train_parser().parse_args(argv)
+    summary = run_train(args)
+    if args.json:
+        print(json.dumps(summary, indent=2, default=float))
+        return 0
+    plan = summary["shard_plan"]
+    print(f"train {summary['dataset']} / {summary['backbone']} / "
+          f"{summary['variant']} (seed {summary['seed']})")
+    print(f"  shards         : {summary['workers']} x {summary['shard_policy']} "
+          f"{plan['shard_events']} events "
+          f"(backend {summary['worker_backend']}, engine {summary['batch_engine']})")
+    print(f"  test MRR       : {summary['test_mrr']:.4f}")
+    print(f"  final loss     : {summary['final_model_loss']:.4f}")
+    breakdown = ", ".join(
+        f"{k}={v:.2f}s"
+        for k, v in sorted(summary["runtime_breakdown_seconds"].items()))
+    print(f"  runtime        : {breakdown}")
+    print(f"  wall clock     : {summary['wall_clock_seconds']:.1f}s")
+    return 0
 
 
 def build_stream_parser() -> argparse.ArgumentParser:
@@ -267,6 +376,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     argv = list(sys.argv[1:]) if argv is None else list(argv)
     if argv and argv[0] == "stream":
         return _stream_main(argv[1:])
+    if argv and argv[0] == "train":
+        return _train_main(argv[1:])
     args = build_parser().parse_args(argv)
     summary = run(args)
     if args.json:

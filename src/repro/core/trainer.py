@@ -42,7 +42,7 @@ from .pipeline import MiniBatchGenerator
 from .prefetcher import PreparedBatch, make_engine
 from .sample_loss import build_sample_loss
 
-__all__ = ["EpochStats", "TrainResult", "TaserTrainer"]
+__all__ = ["EpochStats", "TrainStep", "TrainResult", "TaserTrainer"]
 
 
 @dataclass
@@ -64,6 +64,24 @@ class EpochStats:
     @property
     def total_runtime(self) -> float:
         return float(sum(self.runtime.values()))
+
+
+@dataclass
+class TrainStep:
+    """In-flight state of one training step, between backward and step.
+
+    The synchronous trainer runs backward → step → selector/sampler updates
+    back-to-back inside :meth:`TaserTrainer._train_prepared`; the sharded
+    data-parallel trainer interposes a gradient-averaging barrier between the
+    backward and step halves.  This container carries everything the later
+    halves need.
+    """
+
+    prepared: PreparedBatch
+    minibatch: object
+    embeddings: object
+    pos_logits: object
+    model_loss: object
 
 
 @dataclass
@@ -108,7 +126,7 @@ class TaserTrainer:
                                   policy=cfg.resolved_finder_policy, seed=cfg.seed)
         self.cache = None
         if self.graph.edge_feat is not None and cfg.cache_ratio > 0:
-            capacity = int(round(cfg.cache_ratio * self.graph.num_edges))
+            capacity = self._cache_capacity(self.graph)
             self.cache = DynamicFeatureCache(self.graph.num_edges, capacity,
                                              epsilon=cfg.cache_epsilon, seed=cfg.seed)
         self.feature_store = FeatureStore(self.graph, edge_cache=self.cache,
@@ -165,12 +183,23 @@ class TaserTrainer:
         incremental builder whose snapshots are bitwise-identical)."""
         return build_tcsr(graph)
 
+    def _cache_capacity(self, graph: TemporalGraph) -> int:
+        """Edge-feature cache capacity hook.
+
+        The default budgets ``cache_ratio`` of the trained graph's edges; the
+        sharded trainer overrides this with the shard's slice of the global
+        budget (see :class:`~repro.graph.sharding.TemporalShardPlan`)."""
+        return int(round(self.config.cache_ratio * graph.num_edges))
+
     # ------------------------------------------------------------------ training
 
-    def _train_prepared(self, prepared: PreparedBatch) -> Dict[str, float]:
-        cfg = self.config
+    def _model_backward(self, prepared: PreparedBatch) -> TrainStep:
+        """Backward half of one step: build the batch, forward, loss, backward.
+
+        Leaves the model gradients in place *without* stepping, so a
+        data-parallel caller can average them across shard replicas first.
+        """
         b = prepared.num_positives
-        local_indices = prepared.local_indices
         minibatch = prepared.minibatch
         if minibatch is None:
             # Finish the state-dependent stages the engine could not run ahead
@@ -193,31 +222,58 @@ class TaserTrainer:
                 pos_logits, Tensor(np.ones(b))) \
                 + F.binary_cross_entropy_with_logits(neg_logits, Tensor(np.zeros(b)))
             model_loss.backward()
-            if cfg.grad_clip > 0:
-                clip_grad_norm(self.model_optimizer.params, cfg.grad_clip)
+        return TrainStep(prepared=prepared, minibatch=minibatch,
+                         embeddings=embeddings, pos_logits=pos_logits,
+                         model_loss=model_loss)
+
+    def _model_step(self) -> None:
+        """Step half: clip and apply whatever gradients the params now hold."""
+        with self.timer.section("PP"):
+            if self.config.grad_clip > 0:
+                clip_grad_norm(self.model_optimizer.params, self.config.grad_clip)
             self.model_optimizer.step()
 
+    def _sampler_backward(self, step: TrainStep):
+        """Build the REINFORCE sample loss and backprop it (no step).
+
+        Returns the sample-loss tensor, or ``None`` when the configuration
+        produces no sample loss for this batch.
+        """
+        cfg = self.config
+        attention = None
+        if cfg.backbone == "tgat" and cfg.sample_loss == "tgat_analytic":
+            attention = self.backbone.last_layer_attention()
+        sample_loss = build_sample_loss(
+            cfg.sample_loss, step.minibatch.hops, step.prepared.num_positives,
+            step.embeddings, attention=attention, alpha=cfg.sample_alpha,
+            beta=cfg.sample_beta)
+        if sample_loss is not None:
+            sample_loss.backward()
+        return sample_loss
+
+    def _sampler_step(self) -> None:
+        if self.config.grad_clip > 0:
+            clip_grad_norm(self.sampler_optimizer.params, self.config.grad_clip)
+        self.sampler_optimizer.step()
+
+    def _train_prepared(self, prepared: PreparedBatch) -> Dict[str, float]:
+        step = self._model_backward(prepared)
+        self._model_step()
+
         # Adaptive mini-batch feedback (Eq. 11) on the positive logits.
-        self.selector.update(local_indices, pos_logits.data)
+        self.selector.update(prepared.local_indices, step.pos_logits.data)
 
         # Adaptive neighbor sampler update via the REINFORCE sample loss.
         sample_loss_value = 0.0
         if self.sampler_optimizer is not None:
             with self.timer.section("AS"):
-                attention = None
-                if cfg.backbone == "tgat" and cfg.sample_loss == "tgat_analytic":
-                    attention = self.backbone.last_layer_attention()
-                sample_loss = build_sample_loss(
-                    cfg.sample_loss, minibatch.hops, b, embeddings,
-                    attention=attention, alpha=cfg.sample_alpha, beta=cfg.sample_beta)
+                sample_loss = self._sampler_backward(step)
                 if sample_loss is not None:
-                    sample_loss.backward()
-                    if cfg.grad_clip > 0:
-                        clip_grad_norm(self.sampler_optimizer.params, cfg.grad_clip)
-                    self.sampler_optimizer.step()
+                    self._sampler_step()
                     sample_loss_value = float(sample_loss.data)
 
-        return {"model_loss": float(model_loss.data), "sample_loss": sample_loss_value}
+        return {"model_loss": float(step.model_loss.data),
+                "sample_loss": sample_loss_value}
 
     def train_epoch(self) -> EpochStats:
         """Run one training epoch and return its statistics."""
@@ -247,10 +303,11 @@ class TaserTrainer:
         # transfer); "FS_transfer" separately exposes the deterministic
         # modelled component for the runtime-breakdown harness.
         runtime = self.timer.totals()
-        simulated = self.feature_store.stats.simulated_seconds
+        slice_stats = self.feature_store.snapshot()
+        simulated = slice_stats.simulated_seconds
         runtime["FS_transfer"] = simulated
         runtime["FS"] = runtime.get("FS", 0.0) + simulated
-        cache_hit = self.feature_store.stats.hit_rate if self.cache is not None else 0.0
+        cache_hit = slice_stats.hit_rate if self.cache is not None else 0.0
         self.feature_store.end_epoch()
 
         ess = (self.selector.effective_sample_size()

@@ -32,7 +32,16 @@ __all__ = ["SliceStats", "FeatureStore"]
 
 @dataclass
 class SliceStats:
-    """Cumulative accounting of the feature-slicing path."""
+    """Cumulative accounting of the feature-slicing path.
+
+    Counters are plain fields; *all* mutation of a live store's stats happens
+    under the owning :class:`FeatureStore`'s lock (the prefetch batch engine
+    slices hop-1 features in its producer thread while the consumer slices
+    deeper hops, and the sharded trainer runs one concurrent engine per
+    shard).  Readers that need a consistent multi-field view must go through
+    :meth:`FeatureStore.snapshot` rather than read the live fields, which can
+    tear between two counter updates.
+    """
 
     bytes_from_vram: float = 0.0
     bytes_from_ram: float = 0.0
@@ -48,6 +57,28 @@ class SliceStats:
         self.cache_hits = 0
         self.cache_misses = 0
         self.simulated_seconds = 0.0
+
+    def copy(self) -> "SliceStats":
+        return SliceStats(bytes_from_vram=self.bytes_from_vram,
+                          bytes_from_ram=self.bytes_from_ram,
+                          requests=self.requests,
+                          cache_hits=self.cache_hits,
+                          cache_misses=self.cache_misses,
+                          simulated_seconds=self.simulated_seconds)
+
+    def merge(self, other: "SliceStats") -> "SliceStats":
+        """Accumulate another accounting into this one (shard aggregation).
+
+        Counters are order-insensitive sums, so merging per-shard snapshots
+        in shard order is deterministic.  Returns ``self`` for chaining.
+        """
+        self.bytes_from_vram += other.bytes_from_vram
+        self.bytes_from_ram += other.bytes_from_ram
+        self.requests += other.requests
+        self.cache_hits += other.cache_hits
+        self.cache_misses += other.cache_misses
+        self.simulated_seconds += other.simulated_seconds
+        return self
 
     @property
     def hit_rate(self) -> float:
@@ -95,7 +126,10 @@ class FeatureStore:
         # Guards stats/cache accounting: the prefetch batch engine may slice
         # hop-1 features in its producer thread while the consumer slices a
         # deeper hop.  Accumulated counts are order-insensitive sums, so the
-        # lock is all that is needed for deterministic accounting.
+        # lock is all that is needed for deterministic accounting.  Every
+        # mutation of ``stats`` — including reset and epoch rollover, which an
+        # abandoned epoch's straggler producer could otherwise race — must
+        # hold this lock; consistent reads go through :meth:`snapshot`.
         self._lock = threading.Lock()
         self._edge_bytes_per_row = (graph.edge_feat.itemsize * graph.edge_dim
                                     if graph.edge_feat is not None else 0)
@@ -176,8 +210,21 @@ class FeatureStore:
 
     def end_epoch(self) -> None:
         """Propagate the epoch boundary to the cache replacement policy."""
-        if self.edge_cache is not None:
-            self.edge_cache.end_epoch()
+        with self._lock:
+            if self.edge_cache is not None:
+                self.edge_cache.end_epoch()
 
     def reset_stats(self) -> None:
-        self.stats.reset()
+        with self._lock:
+            self.stats.reset()
+
+    def snapshot(self) -> SliceStats:
+        """A consistent copy of the accounting counters.
+
+        Reading the live :attr:`stats` fields individually can tear against a
+        concurrent slice on another thread (e.g. ``hit_rate`` observing the
+        hit counter of one request and the miss counter of the next); the
+        snapshot copies all fields under the store lock.
+        """
+        with self._lock:
+            return self.stats.copy()

@@ -1,0 +1,276 @@
+"""Worker pools: serial, thread and process execution of shard workers.
+
+The sharded trainer talks to its workers through one tiny interface —
+:meth:`WorkerPool.run` broadcasts a :class:`~repro.distributed.worker.ShardWorker`
+method to every worker and returns the results **in shard order** — so the
+execution backend is swappable:
+
+``serial``
+    Workers run one after another in the caller's thread.  The reference
+    backend: zero concurrency, useful for debugging and as the determinism
+    anchor the concurrent backends are asserted against.
+
+``thread``
+    One long-lived thread per worker.  Numpy kernels release the GIL, so
+    per-shard batch generation (neighbor finding, feature slicing) and the
+    dense forward/backward overlap across shards on multi-core hosts.
+
+``process``
+    One child process per worker, connected over a pipe.  True parallelism
+    regardless of the GIL; arguments/results are pickled, so gradients cross
+    process boundaries by copy.
+
+All three produce bitwise-identical training trajectories: each worker's
+compute is a deterministic function of its shard and the averaged gradients
+it receives, and the barrier collects contributions in fixed shard order.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import threading
+import traceback
+from queue import Queue
+from typing import Any, List, Optional, Sequence, Tuple
+
+from .worker import ShardTask, ShardWorker
+
+__all__ = ["WORKER_BACKENDS", "WorkerPool", "SerialWorkerPool",
+           "ThreadWorkerPool", "ProcessWorkerPool", "make_worker_pool"]
+
+WORKER_BACKENDS = ("serial", "thread", "process")
+
+
+class WorkerPool:
+    """Abstract pool of ``W`` shard workers addressed by shard index."""
+
+    def __init__(self, tasks: Sequence[ShardTask]) -> None:
+        if not tasks:
+            raise ValueError("worker pool needs at least one shard task")
+        self.num_workers = len(tasks)
+
+    def run(self, method: str,
+            args_list: Optional[Sequence[Tuple]] = None) -> List[Any]:
+        """Invoke ``method(*args)`` on every worker; results in shard order."""
+        raise NotImplementedError
+
+    def run_one(self, index: int, method: str, *args) -> Any:
+        """Invoke ``method(*args)`` on a single worker."""
+        raise NotImplementedError
+
+    def shutdown(self) -> None:
+        """Release pool resources (threads / processes)."""
+
+    def _resolve_args(self, args_list: Optional[Sequence[Tuple]]) -> List[Tuple]:
+        if args_list is None:
+            return [()] * self.num_workers
+        if len(args_list) != self.num_workers:
+            raise ValueError(f"expected {self.num_workers} argument tuples, "
+                             f"got {len(args_list)}")
+        return [tuple(a) for a in args_list]
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.shutdown()
+
+
+class SerialWorkerPool(WorkerPool):
+    """Reference backend: workers executed sequentially in shard order."""
+
+    backend = "serial"
+
+    def __init__(self, tasks: Sequence[ShardTask]) -> None:
+        super().__init__(tasks)
+        self.workers = [ShardWorker(task) for task in tasks]
+
+    def run(self, method, args_list=None):
+        args_list = self._resolve_args(args_list)
+        return [getattr(worker, method)(*args)
+                for worker, args in zip(self.workers, args_list)]
+
+    def run_one(self, index, method, *args):
+        return getattr(self.workers[index], method)(*args)
+
+    def shutdown(self) -> None:
+        for worker in self.workers:
+            worker.shutdown()
+
+
+class _WorkerThread(threading.Thread):
+    """A dedicated thread owning one worker and draining a command queue.
+
+    One *persistent* thread per worker (rather than an executor) pins every
+    worker's entire lifetime to a single thread, which keeps any
+    thread-local state (and the prefetch engine's producer handshake)
+    per-shard.
+    """
+
+    def __init__(self, index: int, task: ShardTask) -> None:
+        super().__init__(name=f"shard-worker-{index}", daemon=True)
+        self.commands: "Queue" = Queue()
+        self._task = task
+        self._init_error: Optional[BaseException] = None
+        self._ready = threading.Event()
+
+    def run(self) -> None:
+        try:
+            worker = ShardWorker(self._task)
+        except BaseException as exc:
+            self._init_error = exc
+            self._ready.set()
+            return
+        self._ready.set()
+        while True:
+            item = self.commands.get()
+            if item is None:
+                worker.shutdown()
+                return
+            method, args, reply = item
+            try:
+                reply.put(("ok", getattr(worker, method)(*args)))
+            except BaseException as exc:
+                reply.put(("err", exc))
+
+    def wait_ready(self) -> None:
+        self._ready.wait()
+        if self._init_error is not None:
+            raise self._init_error
+
+
+class ThreadWorkerPool(WorkerPool):
+    """One long-lived thread per shard; numpy kernels overlap across shards."""
+
+    backend = "thread"
+
+    def __init__(self, tasks: Sequence[ShardTask]) -> None:
+        super().__init__(tasks)
+        self.threads = [_WorkerThread(i, task) for i, task in enumerate(tasks)]
+        for thread in self.threads:
+            thread.start()
+        for thread in self.threads:
+            thread.wait_ready()
+
+    def _dispatch(self, index: int, method: str, args: Tuple) -> "Queue":
+        reply: "Queue" = Queue(maxsize=1)
+        self.threads[index].commands.put((method, args, reply))
+        return reply
+
+    @staticmethod
+    def _collect(reply: "Queue") -> Any:
+        status, value = reply.get()
+        if status == "err":
+            raise value
+        return value
+
+    def run(self, method, args_list=None):
+        args_list = self._resolve_args(args_list)
+        replies = [self._dispatch(i, method, args)
+                   for i, args in enumerate(args_list)]
+        return [self._collect(reply) for reply in replies]
+
+    def run_one(self, index, method, *args):
+        return self._collect(self._dispatch(index, method, args))
+
+    def shutdown(self) -> None:
+        for thread in self.threads:
+            if thread.is_alive():
+                thread.commands.put(None)
+        for thread in self.threads:
+            thread.join(timeout=10.0)
+
+
+def _process_worker_main(conn, task: ShardTask) -> None:
+    """Child-process loop: build the worker, then serve pipe commands."""
+    try:
+        worker = ShardWorker(task)
+        conn.send(("ok", None))
+    except BaseException:
+        conn.send(("err", traceback.format_exc()))
+        return
+    while True:
+        message = conn.recv()
+        if message is None:
+            worker.shutdown()
+            return
+        method, args = message
+        try:
+            conn.send(("ok", getattr(worker, method)(*args)))
+        except BaseException:
+            conn.send(("err", traceback.format_exc()))
+
+
+class ProcessWorkerPool(WorkerPool):
+    """One child process per shard, connected over a duplex pipe.
+
+    Gradients cross the barrier by pickling — acceptable for the model sizes
+    this repo trains, and the only backend with true parallelism for
+    GIL-bound (non-numpy) portions of batch generation.
+    """
+
+    backend = "process"
+
+    def __init__(self, tasks: Sequence[ShardTask]) -> None:
+        super().__init__(tasks)
+        # fork (where available) shares the parent's read-only pages with the
+        # children; spawn (the only option on some platforms) re-imports and
+        # pickles, which works because ShardTask carries only arrays/config.
+        methods = mp.get_all_start_methods()
+        ctx = mp.get_context("fork" if "fork" in methods else "spawn")
+        self.processes = []
+        self.conns = []
+        for task in tasks:
+            parent_conn, child_conn = ctx.Pipe()
+            proc = ctx.Process(target=_process_worker_main,
+                               args=(child_conn, task), daemon=True)
+            proc.start()
+            child_conn.close()
+            self.processes.append(proc)
+            self.conns.append(parent_conn)
+        for index, conn in enumerate(self.conns):
+            self._check(conn.recv(), index)
+
+    @staticmethod
+    def _check(message, index: int):
+        status, value = message
+        if status == "err":
+            raise RuntimeError(
+                f"shard worker process {index} failed:\n{value}")
+        return value
+
+    def run(self, method, args_list=None):
+        args_list = self._resolve_args(args_list)
+        for conn, args in zip(self.conns, args_list):
+            conn.send((method, args))
+        return [self._check(conn.recv(), i)
+                for i, conn in enumerate(self.conns)]
+
+    def run_one(self, index, method, *args):
+        self.conns[index].send((method, args))
+        return self._check(self.conns[index].recv(), index)
+
+    def shutdown(self) -> None:
+        for conn, proc in zip(self.conns, self.processes):
+            if proc.is_alive():
+                try:
+                    conn.send(None)
+                except (BrokenPipeError, OSError):
+                    pass
+        for conn, proc in zip(self.conns, self.processes):
+            proc.join(timeout=10.0)
+            if proc.is_alive():  # pragma: no cover - defensive
+                proc.terminate()
+            conn.close()
+
+
+def make_worker_pool(backend: str, tasks: Sequence[ShardTask]) -> WorkerPool:
+    """Build the worker pool selected by ``backend``."""
+    if backend == "serial":
+        return SerialWorkerPool(tasks)
+    if backend == "thread":
+        return ThreadWorkerPool(tasks)
+    if backend == "process":
+        return ProcessWorkerPool(tasks)
+    raise ValueError(f"unknown worker backend {backend!r}; "
+                     f"choose from {WORKER_BACKENDS}")

@@ -1,0 +1,225 @@
+"""Per-shard training worker: the unit both worker pools execute.
+
+A :class:`ShardWorker` owns one shard's complete single-worker training
+stack — a :class:`~repro.core.trainer.TaserTrainer` built over the shard's
+event view, with its own T-CSR, neighbor finder, feature store/cache slice,
+batch engine and model *replica*.  The sharded trainer drives all workers in
+lock-step through the split step protocol:
+
+1. :meth:`model_backward`  — generate the shard's next mini-batch (through
+   the shard's own sync/prefetch/aot engine) and run forward + backward,
+   leaving gradients in place;
+2. :meth:`apply_model`     — overwrite the replica's gradients with the
+   globally averaged ones, clip, step, run the shard-local selector update,
+   and (for adaptive configs) backprop the sampler loss;
+3. :meth:`apply_sampler`   — apply the averaged sampler gradients.
+
+Because every replica starts from identical weights (same config seed) and
+steps on identical averaged gradients, replicas stay **bitwise identical**
+across workers for the whole run — there is no weight broadcast, only the
+gradient barrier.  All methods take and return picklable values only, so the
+same class serves the in-process pools and the process pool's children.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..core.config import TaserConfig
+from ..core.trainer import TaserTrainer, TrainStep
+from ..graph.temporal_graph import TemporalGraph
+
+__all__ = ["ShardTask", "ShardWorker"]
+
+#: gradient lists are aligned with ``optimizer.params``; ``None`` marks a
+#: parameter that received no gradient this step.
+GradList = List[Optional[np.ndarray]]
+
+
+@dataclass
+class ShardTask:
+    """Everything needed to (re)build one shard's worker — in any process.
+
+    Carries raw arrays rather than live objects so the task pickles cheaply
+    and identically for the thread and process pools.
+    """
+
+    config: TaserConfig
+    shard_index: int
+    num_shards: int
+    cache_capacity: int
+    src: np.ndarray
+    dst: np.ndarray
+    ts: np.ndarray
+    num_nodes: int
+    edge_feat: Optional[np.ndarray] = None
+    node_feat: Optional[np.ndarray] = None
+    meta: Dict = field(default_factory=dict)
+
+    def build_graph(self) -> TemporalGraph:
+        return TemporalGraph(src=self.src, dst=self.dst, ts=self.ts,
+                             num_nodes=self.num_nodes, edge_feat=self.edge_feat,
+                             node_feat=self.node_feat, meta=dict(self.meta))
+
+
+class _ShardTrainer(TaserTrainer):
+    """A :class:`TaserTrainer` whose cache capacity is assigned by the plan
+    (its slice of the global ``cache_ratio`` budget) instead of derived from
+    the shard's own edge count."""
+
+    def __init__(self, graph: TemporalGraph, config: TaserConfig,
+                 cache_capacity: int) -> None:
+        self._assigned_cache_capacity = int(cache_capacity)
+        super().__init__(graph, config)
+
+    def _cache_capacity(self, graph: TemporalGraph) -> int:
+        return self._assigned_cache_capacity
+
+
+class ShardWorker:
+    """One shard's training replica plus the lock-step epoch protocol."""
+
+    def __init__(self, task: ShardTask) -> None:
+        self.task = task
+        self.trainer = _ShardTrainer(task.build_graph(), task.config,
+                                     task.cache_capacity)
+        self._batches = None
+        self._step: Optional[TrainStep] = None
+        self._losses: List[float] = []
+        self._sample_losses: List[float] = []
+
+    # -- epoch lifecycle ---------------------------------------------------------
+
+    def num_batches(self, max_batches: Optional[int] = None) -> int:
+        """Batches this shard can contribute to the coming epoch."""
+        count = self.trainer.selector.num_batches
+        if max_batches is not None:
+            count = min(count, max_batches)
+        return int(count)
+
+    def begin_epoch(self, max_batches: Optional[int] = None) -> None:
+        """Mirror of ``TaserTrainer.train_epoch``'s prologue, minus the loop."""
+        t = self.trainer
+        t.engine.begin_epoch()
+        t.backbone.train()
+        t.predictor.train()
+        if t.sampler is not None:
+            t.sampler.train()
+        if t.finder.requires_chronological:
+            t.finder.reset()
+        t.timer.reset()
+        t.feature_store.reset_stats()
+        self._batches = iter(t.engine.epoch(max_batches))
+        self._step = None
+        self._losses = []
+        self._sample_losses = []
+
+    # -- lock-step protocol --------------------------------------------------------
+
+    def model_backward(self) -> Optional[GradList]:
+        """Advance to the shard's next batch; forward + backward; return grads.
+
+        Returns ``None`` once the shard's schedule is exhausted (the sharded
+        trainer sizes the epoch to the smallest shard, so this only happens
+        if it over-asks).
+        """
+        t = self.trainer
+        prepared = next(self._batches, None)
+        if prepared is None:
+            self._step = None
+            return None
+        self._step = t._model_backward(prepared)
+        return [p.grad for p in t.model_optimizer.params]
+
+    def apply_model(self, grads: GradList) -> Optional[GradList]:
+        """Apply averaged model gradients; run shard-local feedback updates.
+
+        Returns the sampler's gradients when the adaptive neighbor sampler
+        produced a sample loss for this batch, else ``None``.
+        """
+        t = self.trainer
+        step = self._step
+        for p, g in zip(t.model_optimizer.params, grads):
+            # Private copy: clipping scales gradients in place, and under the
+            # thread pool all workers receive the same averaged arrays.
+            p.grad = None if g is None else np.array(g, copy=True)
+        t._model_step()
+        t.selector.update(step.prepared.local_indices, step.pos_logits.data)
+        self._losses.append(float(step.model_loss.data))
+
+        if t.sampler_optimizer is None:
+            self._sample_losses.append(0.0)
+            return None
+        with t.timer.section("AS"):
+            sample_loss = t._sampler_backward(step)
+        if sample_loss is None:
+            self._sample_losses.append(0.0)
+            return None
+        self._sample_losses.append(float(sample_loss.data))
+        return [p.grad for p in t.sampler_optimizer.params]
+
+    def apply_sampler(self, grads: GradList) -> None:
+        """Apply averaged sampler gradients (clip + step, AS phase)."""
+        t = self.trainer
+        for p, g in zip(t.sampler_optimizer.params, grads):
+            p.grad = None if g is None else np.array(g, copy=True)
+        with t.timer.section("AS"):
+            t._sampler_step()
+
+    def end_epoch(self) -> Dict:
+        """Finish the batch iterator and return the shard's epoch summary.
+
+        The iterator is run to natural exhaustion — exactly what the
+        single-worker epoch loop does.  This matters for bitwise fidelity:
+        when ``max_batches`` truncates the schedule, the engine pulls one
+        more entry from the selector's generator before breaking (an RNG
+        draw for the adaptive selector), and the prefetch engine consumes
+        its end-of-epoch sentinel and joins the producer.  The sharded
+        trainer sizes the epoch so no trained batch remains, making this a
+        state-finalising no-op pull in normal operation.
+        """
+        t = self.trainer
+        if self._batches is not None:
+            for _ in self._batches:  # pragma: no branch
+                pass
+        self._batches = None
+        self._step = None
+        t.engine.collect_timings()
+        runtime = t.timer.totals()
+        slice_stats = t.feature_store.snapshot()
+        runtime["FS_transfer"] = slice_stats.simulated_seconds
+        runtime["FS"] = runtime.get("FS", 0.0) + slice_stats.simulated_seconds
+        t.feature_store.end_epoch()
+        from ..core.minibatch_selector import AdaptiveMiniBatchSelector
+        ess = (t.selector.effective_sample_size()
+               if isinstance(t.selector, AdaptiveMiniBatchSelector)
+               else float(t.split.num_train))
+        return {
+            "shard": self.task.shard_index,
+            "losses": list(self._losses),
+            "sample_losses": list(self._sample_losses),
+            "runtime": runtime,
+            "cache_hit_rate": (slice_stats.hit_rate
+                               if t.cache is not None else 0.0),
+            "slice_stats": slice_stats.as_dict(),
+            "effective_sample_size": float(ess),
+            "num_events": t.graph.num_edges,
+            "num_train": t.split.num_train,
+            "engine_mode": t.engine.effective_mode,
+        }
+
+    # -- replica state ----------------------------------------------------------------
+
+    def model_state(self) -> Dict[str, Dict[str, np.ndarray]]:
+        """State dicts of the replica (all replicas are bitwise identical)."""
+        state = {"backbone": self.trainer.backbone.state_dict(),
+                 "predictor": self.trainer.predictor.state_dict()}
+        if self.trainer.sampler is not None:
+            state["sampler"] = self.trainer.sampler.state_dict()
+        return state
+
+    def shutdown(self) -> None:
+        self.trainer.engine.shutdown()

@@ -7,8 +7,14 @@ from .datasets import DATASET_NAMES, dataset_config, load_dataset, dataset_table
 from .noise import (NoiseReport, measure_noise, inject_random_edges,
                     perturb_edge_features, drop_events)
 from .splits import TemporalSplit, chronological_split
+from .sharding import (SHARD_POLICIES, ShardSpec, TemporalShardPlan,
+                       make_shard_plan)
 
 __all__ = [
+    "SHARD_POLICIES",
+    "ShardSpec",
+    "TemporalShardPlan",
+    "make_shard_plan",
     "TemporalGraph",
     "TCSR",
     "build_tcsr",

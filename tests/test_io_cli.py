@@ -120,6 +120,60 @@ class TestCLI:
         assert 0.0 <= payload["test_mrr"] <= 1.0
 
 
+class TestTrainCLI:
+    TRAIN_ARGS = [
+        "train", "--dataset", "wikipedia", "--scale", "0.05",
+        "--epochs", "1", "--max-batches-per-epoch", "2",
+        "--batch-size", "64", "--hidden-dim", "8", "--time-dim", "4",
+        "--num-neighbors", "3", "--num-candidates", "6",
+        "--eval-max-edges", "20", "--eval-negatives", "5",
+    ]
+
+    def test_train_json_output(self, capsys):
+        code = main(self.TRAIN_ARGS + ["--workers", "2",
+                                       "--shard-policy", "hash", "--json"])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["workers"] == 2
+        assert payload["shard_policy"] == "hash"
+        assert payload["shard_plan"]["num_shards"] == 2
+        assert sum(payload["shard_plan"]["shard_events"]) \
+            == payload["shard_plan"]["num_events"]
+        assert 0.0 <= payload["test_mrr"] <= 1.0
+        assert "SYNC" in payload["runtime_breakdown_seconds"]
+
+    def test_train_text_output(self, capsys):
+        assert main(self.TRAIN_ARGS + ["--workers", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "shards" in out
+        assert "test MRR" in out
+
+    def test_train_single_worker_matches_default_runner(self, capsys):
+        """`repro train --workers 1` reproduces the default runner's loss."""
+        shared = ["--dataset", "wikipedia", "--scale", "0.05",
+                  "--variant", "baseline", "--epochs", "1",
+                  "--max-batches-per-epoch", "2", "--batch-size", "64",
+                  "--hidden-dim", "8", "--time-dim", "4",
+                  "--num-neighbors", "3", "--num-candidates", "6",
+                  "--eval-max-edges", "20", "--eval-negatives", "5", "--json"]
+        assert main(shared) == 0
+        single = json.loads(capsys.readouterr().out)
+        assert main(["train", "--workers", "1", "--worker-backend", "serial",
+                     *shared]) == 0
+        sharded = json.loads(capsys.readouterr().out)
+        assert sharded["final_model_loss"] == single["final_model_loss"]
+
+    def test_train_rejects_bad_flags(self, capsys):
+        with pytest.raises(SystemExit):
+            main(self.TRAIN_ARGS + ["--workers", "0"])
+        assert "must be >= 1" in capsys.readouterr().err
+        with pytest.raises(SystemExit):
+            main(self.TRAIN_ARGS + ["--shard-policy", "roundrobin"])
+        capsys.readouterr()
+        with pytest.raises(SystemExit):
+            main(self.TRAIN_ARGS + ["--worker-backend", "mpi"])
+
+
 class TestStreamCLI:
     STREAM_ARGS = [
         "stream", "--dataset", "wikipedia", "--scale", "0.05",
