@@ -24,14 +24,17 @@ interpreted, never the absolute seconds.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import hashlib
+import json
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
 from ..core import TaserConfig, TaserTrainer
 from ..graph.temporal_graph import TemporalGraph
 
 __all__ = ["BreakdownRow", "normalise_runtime", "runtime_breakdown",
-           "system_configurations", "DEVICE_COMPUTE_SPEEDUP"]
+           "system_configurations", "loss_trajectory_hash",
+           "DEVICE_COMPUTE_SPEEDUP"]
 
 #: default numpy-CPU -> simulated-GPU conversion factor for dense compute.
 DEVICE_COMPUTE_SPEEDUP = 64.0
@@ -65,15 +68,44 @@ def normalise_runtime(runtime: Dict[str, float], finder: str,
     }
 
 
+def loss_trajectory_hash(trajectories: List[List[float]]) -> str:
+    """Stable digest of a per-epoch loss-trajectory list (full float repr).
+
+    Same construction as the shard-scaling benchmark's determinism pair:
+    two runs of the same config under the same seed must produce the same
+    digest, and ``tools/bench_gate.py`` enforces any committed
+    ``hash``/``replay_hash`` pair for equality.
+    """
+    blob = json.dumps(trajectories, sort_keys=True).encode()
+    return hashlib.sha256(blob).hexdigest()[:16]
+
+
 @dataclass
 class BreakdownRow:
-    """One row of Table III: a system configuration and its per-epoch phases."""
+    """One row of Table III: a system configuration and its per-epoch phases.
+
+    Besides the four phase times, a row carries the prep-runtime gather
+    statistics of the run (dedup ratio and unique-id counts from
+    ``FeatureStore.snapshot()``) and a digest of the per-batch loss
+    trajectory for run-vs-replay determinism checks.
+    """
 
     label: str
     nf: float
     adaptive: float
     fs: float
     pp: float
+    #: gather dedup ratio (requested candidate ids / unique ids gathered);
+    #: 1.0 when the feature store exposes no dedup accounting.
+    dedup_ratio: float = 1.0
+    #: candidate id occurrences requested through the feature store.
+    ids_requested: int = 0
+    #: unique ids actually gathered at the dedup choke point.
+    ids_unique: int = 0
+    #: digest of the run's per-epoch batch-loss trajectories.
+    loss_hash: str = ""
+    #: per-epoch batch-loss trajectories (for replay comparisons).
+    batch_losses: List[List[float]] = field(default_factory=list, repr=False)
 
     @property
     def total(self) -> float:
@@ -102,18 +134,33 @@ def runtime_breakdown(graph: TemporalGraph, config: TaserConfig, label: str,
         raise ValueError("device_speedup must be positive")
     trainer = TaserTrainer(graph, config)
     totals = {"NF": 0.0, "AS": 0.0, "FS": 0.0, "FS_transfer": 0.0, "PP": 0.0}
+    ids_requested = 0
+    ids_unique = 0
+    trajectories: List[List[float]] = []
     for _ in range(epochs):
         stats = trainer.train_epoch()
         for key in totals:
             totals[key] += stats.runtime.get(key, 0.0)
+        trajectories.append(list(stats.batch_losses))
+        # Per-epoch slice counters are still live right after train_epoch
+        # (reset happens at the top of the next epoch).  getattr keeps the
+        # harness usable against stores without dedup accounting.
+        snap = trainer.feature_store.snapshot()
+        ids_requested += int(getattr(snap, "ids_requested", 0))
+        ids_unique += int(getattr(snap, "ids_unique", 0))
     # FS = modelled PCIe/VRAM transfer time plus the measured gather compute
     # converted to device seconds (the gather kernel runs on the GPU in the
     # paper); the deterministic transfer component dominates, so the cache
     # effect is not drowned by wall-clock jitter of the CPU gather.
     per_epoch = {key: value / epochs for key, value in totals.items()}
     phases = normalise_runtime(per_epoch, config.finder, device_speedup)
+    dedup_ratio = (ids_requested / ids_unique) if ids_unique else 1.0
     return BreakdownRow(label=label, nf=phases["NF"], adaptive=phases["AS"],
-                        fs=phases["FS"], pp=phases["PP"])
+                        fs=phases["FS"], pp=phases["PP"],
+                        dedup_ratio=float(dedup_ratio),
+                        ids_requested=ids_requested, ids_unique=ids_unique,
+                        loss_hash=loss_trajectory_hash(trajectories),
+                        batch_losses=trajectories)
 
 
 def system_configurations(base: TaserConfig) -> List[tuple]:

@@ -1,7 +1,8 @@
 """TASER core: adaptive mini-batch selection, adaptive neighbor sampling,
-sample losses, the mini-batch pipeline and the end-to-end trainer."""
+sample losses, the unified batch-prep runtime (``repro.core.prep``), the
+batch engines and the end-to-end trainer."""
 
-from .config import TaserConfig
+from .config import TaserConfig, asdict_shallow
 from .minibatch_selector import (MiniBatchSelector, ChronologicalSelector,
                                  AdaptiveMiniBatchSelector)
 from .decoders import (NeighborDecoder, LinearDecoder, GATDecoder, GATv2Decoder,
@@ -10,7 +11,8 @@ from .neighbor_sampler import AdaptiveNeighborSampler, NeighborSelection
 from .sample_loss import (sensitivity_sample_loss, tgat_analytic_sample_loss,
                           build_sample_loss)
 from .pipeline import MiniBatchGenerator, CandidateSlice
-from .prefetcher import (PreparedBatch, BatchEngine, SyncBatchEngine,
+from .prep import PreparedBatch, PrepPipeline
+from .prefetcher import (BatchEngine, SyncBatchEngine,
                          PrefetchBatchEngine, AOTBatchEngine, make_engine,
                          plan_capability, ENGINE_MODES)
 from .trainer import TaserTrainer, TrainResult, EpochStats
@@ -26,6 +28,7 @@ __all__ = [
     "StreamingTrainer",
     "CandidateSlice",
     "PreparedBatch",
+    "PrepPipeline",
     "BatchEngine",
     "SyncBatchEngine",
     "PrefetchBatchEngine",
@@ -34,6 +37,7 @@ __all__ = [
     "plan_capability",
     "ENGINE_MODES",
     "TaserConfig",
+    "asdict_shallow",
     "MiniBatchSelector",
     "ChronologicalSelector",
     "AdaptiveMiniBatchSelector",

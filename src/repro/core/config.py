@@ -10,10 +10,24 @@ to the paper's values.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Optional, Tuple
+import dataclasses
+from dataclasses import dataclass
+from typing import Any, Dict, Optional
 
-__all__ = ["TaserConfig"]
+__all__ = ["TaserConfig", "asdict_shallow"]
+
+
+def asdict_shallow(obj: Any) -> Dict[str, Any]:
+    """Shallow ``asdict`` for dataclasses (does not recurse into fields).
+
+    ``dataclasses.asdict`` deep-copies numpy arrays which is both slow and
+    unnecessary for logging configuration values.  Lives here so the repo
+    has a single config module (``repro.utils.config`` is a deprecated
+    re-export shim).
+    """
+    if not dataclasses.is_dataclass(obj):
+        raise TypeError(f"{obj!r} is not a dataclass instance")
+    return {f.name: getattr(obj, f.name) for f in dataclasses.fields(obj)}
 
 
 @dataclass

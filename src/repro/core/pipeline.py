@@ -1,16 +1,19 @@
-"""Mini-batch generation pipeline: neighbor finding -> feature slicing ->
-adaptive neighbor sampling.
+"""Per-layer prep stages: the thin stage wrapper the prep runtime drives.
 
-This is the per-iteration data path of Fig. 2 (b)-(d).  For every TGNN layer
-the pipeline
+:class:`MiniBatchGenerator` implements the ``candidates -> gather ->
+encode -> assemble`` stages of the unified prep runtime
+(:class:`~repro.core.prep.PrepPipeline`) — the per-iteration data path of
+Fig. 2 (b)-(d).  For every TGNN layer it
 
 1. asks the neighbor finder for ``m`` *candidate* neighbors per target
-   (``m = n`` when adaptive neighbor sampling is disabled),
+   (``m = n`` when adaptive neighbor sampling is disabled) — *candidates*,
 2. slices candidate node/edge features through the simulated memory
-   hierarchy (VRAM cache + PCIe zero-copy accounting),
+   hierarchy via the feature store's deduplicated fused gather (one gathered
+   row and one cache probe per unique id) — *gather*,
 3. optionally runs the adaptive neighbor sampler to keep the ``n`` most
-   informative candidates, and
-4. expands the frontier with the *selected* neighbors only (Algorithm 1).
+   informative candidates — *encode*, and
+4. expands the frontier with the *selected* neighbors only (Algorithm 1)
+   and stacks the hops into a :class:`~repro.models.MiniBatch` — *assemble*.
 
 Per-phase wall-clock time is recorded in the supplied
 :class:`~repro.utils.Timer` under the section names used by the paper's
@@ -18,11 +21,13 @@ runtime tables: ``NF`` (neighbor finding), ``FS`` (feature slicing) and
 ``AS`` (adaptive sampling).
 
 The NF + FS stages of a layer are exposed separately as
-:meth:`MiniBatchGenerator.layer_candidates` so the pipelined batch engines
-(:mod:`repro.core.prefetcher`) can precompute candidate neighborhoods ahead
-of the training loop; :meth:`MiniBatchGenerator.build` accepts such a
+:meth:`MiniBatchGenerator.layer_candidates` so the prep runtime can
+precompute candidate neighborhoods ahead of the training loop on behalf of
+the pipelined batch engines; :meth:`MiniBatchGenerator.build` accepts such a
 precomputed first hop and finishes the state-dependent stages (adaptive
-sampling, deeper hops) synchronously.
+sampling, deeper hops) synchronously.  Consumers never call this class
+directly — they go through the prep runtime, which is the single producer
+of :class:`~repro.core.prep.PreparedBatch`.
 """
 
 from __future__ import annotations

@@ -52,18 +52,15 @@ Capability model
 from __future__ import annotations
 
 import threading
-from dataclasses import dataclass
 from queue import Empty, Full, Queue
 from typing import TYPE_CHECKING, Iterator, List, Optional
 
 import numpy as np
 
-from ..sampling.base import NeighborBatch
 from ..sampling.gpu_finder import GPUNeighborFinder
-from ..sampling.recursive import flatten_frontier
 from ..utils.timer import Timer
 from .config import TaserConfig
-from .pipeline import CandidateSlice
+from .prep import PreparedBatch
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from .trainer import TaserTrainer
@@ -75,35 +72,6 @@ ENGINE_MODES = ("sync", "prefetch", "aot")
 
 #: queue sentinel marking the end of a producer's epoch.
 _DONE = object()
-
-
-@dataclass
-class PreparedBatch:
-    """One training batch with everything that was generated ahead of time.
-
-    ``minibatch`` is set when the full multi-hop batch could be built ahead
-    (capability ``full``); ``first_hop``/``root_feat`` when only the hop-1
-    candidate stage could (capability ``first_hop``).  The trainer finishes
-    whatever is missing synchronously.
-    """
-
-    #: training-set-local indices of the positive edges, shape (b,).
-    local_indices: np.ndarray
-    #: number of positive edges b (roots are [src; dst; negatives], 3b total).
-    num_positives: int
-    #: sampled negative destinations, shape (b,).
-    negatives: np.ndarray
-    #: root node ids of all 3b queries.
-    roots: np.ndarray
-    #: query timestamps of all 3b queries.
-    times: np.ndarray
-    #: fully-built multi-hop mini-batch, or None if the consumer must build it.
-    minibatch: Optional[object] = None
-    #: precomputed hop-1 candidate stage (capability ``first_hop``).
-    first_hop: Optional[CandidateSlice] = None
-    #: precomputed root features (only meaningful when ``first_hop`` is set;
-    #: None is a valid value for graphs without node features).
-    root_feat: Optional[np.ndarray] = None
 
 
 def plan_capability(config: TaserConfig, finder) -> str:
@@ -132,9 +100,14 @@ def plan_capability(config: TaserConfig, finder) -> str:
 class BatchEngine:
     """Base class: the synchronous (reference) mini-batch engine.
 
-    An engine owns the epoch loop's data side: it walks the selector's
-    schedule, assembles root queries (drawing negatives), and produces
-    :class:`PreparedBatch` items for the trainer to consume.
+    An engine owns the epoch loop's data side: it decides *when* each batch
+    of the schedule is prepared (inline, in a background producer, or in an
+    ahead-of-time plan) and yields :class:`PreparedBatch` items for the
+    trainer to consume.  The preparation itself — schedule walk, root
+    assembly, candidates/gather/encode/assemble — is entirely delegated to
+    the shared prep runtime (``trainer.prep``, a
+    :class:`~repro.core.prep.PrepPipeline`): engines contain no private
+    assembly logic, so every prep optimisation lands in all engines at once.
 
     Lifecycle (driven by ``TaserTrainer.train_epoch``):
 
@@ -146,10 +119,10 @@ class BatchEngine:
     4. :meth:`shutdown` — release resources (threads) when the engine is
        replaced or the trainer is done.
 
-    Engines read ``trainer.{config, selector, split, graph, generator,
-    negative_sampler, finder, tcsr, timer}`` dynamically, so a trainer may
-    re-point those between epochs (the streaming subsystem rebuilds the
-    engine per sliding window for exactly this reason).
+    Engines read ``trainer.{config, prep, finder, tcsr, timer}`` dynamically,
+    so a trainer may re-point those between epochs (the streaming subsystem
+    rebuilds the prep pipeline and engine per sliding window for exactly
+    this reason).
 
     Parameters
     ----------
@@ -174,34 +147,13 @@ class BatchEngine:
     def is_fallback(self) -> bool:
         return self.effective_mode != self.mode
 
-    # -- shared assembly -----------------------------------------------------------
+    # -- shared preparation (delegated to the prep runtime) --------------------------
 
     def _schedule(self, max_batches: Optional[int]) -> Iterator[np.ndarray]:
-        for i, batch in enumerate(self.trainer.selector.epoch()):
-            if max_batches is not None and i >= max_batches:
-                break
-            yield batch
-
-    def _assemble(self, local_indices: np.ndarray) -> PreparedBatch:
-        """Root-query assembly: positives + negatives, in the sync order."""
-        trainer = self.trainer
-        graph = trainer.graph
-        global_idx = trainer.split.train_idx[local_indices]
-        src = graph.src[global_idx]
-        dst = graph.dst[global_idx]
-        ts = graph.ts[global_idx]
-        b = int(global_idx.size)
-        negatives = trainer.negative_sampler.sample(b, exclude=dst)
-        roots = np.concatenate([src, dst, negatives])
-        times = np.concatenate([ts, ts, ts])
-        return PreparedBatch(local_indices=local_indices, num_positives=b,
-                             negatives=negatives, roots=roots, times=times)
+        return self.trainer.prep.schedule(max_batches)
 
     def _prepare_sync(self, local_indices: np.ndarray) -> PreparedBatch:
-        prepared = self._assemble(local_indices)
-        prepared.minibatch = self.trainer.generator.build(
-            prepared.roots, prepared.times, train=True)
-        return prepared
+        return self.trainer.prep.prepare_train(local_indices)
 
     def _sync_epoch(self, max_batches: Optional[int]) -> Iterator[PreparedBatch]:
         for local_indices in self._schedule(max_batches):
@@ -266,17 +218,8 @@ class PrefetchBatchEngine(BatchEngine):
     # -- producer side -------------------------------------------------------------
 
     def _prepare_ahead(self, local_indices: np.ndarray) -> PreparedBatch:
-        prepared = self._assemble(local_indices)
-        generator = self.trainer.generator
-        if self.capability == "full":
-            prepared.minibatch = generator.build(prepared.roots, prepared.times,
-                                                 train=True, timer=self._aux_timer)
-        else:  # first_hop
-            prepared.root_feat = generator.slice_root_features(
-                prepared.roots, timer=self._aux_timer)
-            prepared.first_hop = generator.layer_candidates(
-                prepared.roots, prepared.times, timer=self._aux_timer)
-        return prepared
+        return self.trainer.prep.prepare_ahead(local_indices, self.capability,
+                                               timer=self._aux_timer)
 
     def _offer(self, queue: Queue, item, stop: threading.Event) -> bool:
         """Blocking put that aborts promptly once the consumer signals stop."""
@@ -449,92 +392,19 @@ class AOTBatchEngine(BatchEngine):
     def _build_plan(self, chunk: List[np.ndarray]) -> List[PreparedBatch]:
         # Negatives are drawn batch-by-batch in schedule order: the same RNG
         # sequence the sync engine consumes.
-        prepared = [self._assemble(ix) for ix in chunk]
+        prep = self.trainer.prep
+        prepared = [prep.assemble_train(ix) for ix in chunk]
         if self.vectorised:
-            self._plan_vectorised(prepared)
+            # One batched NF pass + one deduplicated fused gather per hop for
+            # the whole chunk: ids repeated across the chunk's batches
+            # collapse to a single gathered row.
+            prep.plan_chunk(prepared, self.capability, self._plan_finder,
+                            timer=self.trainer.timer)
         else:
-            self._plan_sequential(prepared)
+            for item in prepared:
+                prep.complete_ahead(item, self.capability,
+                                    timer=self.trainer.timer)
         return prepared
-
-    def _plan_sequential(self, prepared: List[PreparedBatch]) -> None:
-        generator = self.trainer.generator
-        timer = self.trainer.timer
-        for item in prepared:
-            if self.capability == "full":
-                item.minibatch = generator.build(item.roots, item.times,
-                                                 train=True, timer=timer)
-            else:
-                item.root_feat = generator.slice_root_features(item.roots, timer=timer)
-                item.first_hop = generator.layer_candidates(item.roots, item.times,
-                                                            timer=timer)
-
-    def _plan_vectorised(self, prepared: List[PreparedBatch]) -> None:
-        from ..models.minibatch import HopData, MiniBatch
-
-        generator = self.trainer.generator
-        store = generator.feature_store
-        timer = self.trainer.timer
-        budget = generator._candidate_budget()
-        num_layers = generator.num_layers if self.capability == "full" else 1
-        sizes = [item.roots.size for item in prepared]
-
-        cur_nodes = np.concatenate([item.roots for item in prepared])
-        cur_times = np.concatenate([item.times for item in prepared])
-        with timer.section("FS"):
-            root_feat_all = store.slice_node_features(cur_nodes)
-
-        # Per layer: (candidates, edge_feat, neigh_feat, target_feat, offsets).
-        layer_stages = []
-        for layer in range(num_layers):
-            with timer.section("NF"):
-                candidates = self._plan_finder.sample(cur_nodes, cur_times, budget)
-            candidates.check_padding()
-            with timer.section("FS"):
-                edge_feat, neigh_feat, target_feat = \
-                    generator._slice_candidate_features(candidates, cur_nodes)
-            rows = [size * budget ** layer for size in sizes]
-            offsets = np.concatenate([[0], np.cumsum(rows)])
-            layer_stages.append((candidates, edge_feat, neigh_feat, target_feat,
-                                 offsets))
-            cur_nodes, cur_times = flatten_frontier(candidates)
-
-        root_offsets = np.concatenate([[0], np.cumsum(sizes)])
-        for i, item in enumerate(prepared):
-            lo, hi = int(root_offsets[i]), int(root_offsets[i + 1])
-            root_feat = root_feat_all[lo:hi] if root_feat_all is not None else None
-            slices = [self._cut_stage(stage, i) for stage in layer_stages]
-            if self.capability == "full":
-                minibatch = MiniBatch(root_nodes=item.roots, root_times=item.times,
-                                      root_node_feat=root_feat)
-                for stage in slices:
-                    minibatch.hops.append(HopData(
-                        batch=stage.candidates, edge_feat=stage.edge_feat,
-                        neigh_node_feat=stage.neigh_node_feat,
-                        target_node_feat=stage.target_node_feat))
-                item.minibatch = minibatch
-            else:
-                item.root_feat = root_feat
-                item.first_hop = slices[0]
-
-    @staticmethod
-    def _cut_stage(stage, index: int) -> CandidateSlice:
-        """Cut batch ``index``'s rows out of one concatenated layer stage."""
-        candidates, edge_feat, neigh_feat, target_feat, offsets = stage
-        lo, hi = int(offsets[index]), int(offsets[index + 1])
-        batch = NeighborBatch(
-            root_nodes=candidates.root_nodes[lo:hi],
-            root_times=candidates.root_times[lo:hi],
-            nodes=candidates.nodes[lo:hi],
-            eids=candidates.eids[lo:hi],
-            times=candidates.times[lo:hi],
-            mask=candidates.mask[lo:hi],
-        )
-        return CandidateSlice(
-            candidates=batch,
-            edge_feat=edge_feat[lo:hi] if edge_feat is not None else None,
-            neigh_node_feat=neigh_feat[lo:hi] if neigh_feat is not None else None,
-            target_node_feat=target_feat[lo:hi] if target_feat is not None else None,
-        )
 
 
 def make_engine(trainer: "TaserTrainer", mode: Optional[str] = None) -> BatchEngine:

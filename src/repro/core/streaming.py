@@ -55,6 +55,7 @@ from .config import TaserConfig
 from .minibatch_selector import ChronologicalSelector
 from .pipeline import MiniBatchGenerator
 from .prefetcher import make_engine
+from .prep import PrepPipeline
 from .trainer import EpochStats, TaserTrainer
 
 __all__ = ["EventChunk", "EventStream", "split_warmup", "StreamStats",
@@ -357,10 +358,10 @@ class StreamingTrainer(TaserTrainer):
                     t = ts[start:start + batch_edges]
                     b = int(s.size)
                     negs = self.prequential_negatives.sample_matrix(b, k, exclude=d)
-                    roots = np.concatenate([s, d, negs.reshape(-1)])
-                    times = np.concatenate([t, t, np.repeat(t, k)])
-                    minibatch = self.generator.build(roots, times, train=False)
-                    embeddings = self.backbone.embed(minibatch)
+                    # Prequential batches are prepared by the shared prep
+                    # runtime, like every other execution path.
+                    prepared = self.prep.prepare_eval(s, d, t, negs)
+                    embeddings = self.backbone.embed(prepared.minibatch)
                     h_src = embeddings[np.arange(b)]
                     h_dst = embeddings[np.arange(b, 2 * b)]
                     h_neg = embeddings[np.arange(2 * b, 2 * b + b * k)]
@@ -393,8 +394,8 @@ class StreamingTrainer(TaserTrainer):
         self._refresh_window()
 
     def _refresh_window(self) -> None:
-        """Re-point finder, generator, split, selector and engine at the
-        current graph state and sliding window."""
+        """Re-point finder, generator, split, selector, prep runtime and
+        engine at the current graph state and sliding window."""
         cfg = self.config
         self.tcsr = self.stcsr.snapshot()
         self.finder = make_finder(cfg.finder, self.tcsr,
@@ -407,6 +408,9 @@ class StreamingTrainer(TaserTrainer):
         self.split = _window_split(self.graph, self.window_events)
         self.selector = ChronologicalSelector(self.split.num_train,
                                               cfg.batch_size)
+        self.prep = PrepPipeline(self.generator, self.negative_sampler,
+                                 graph=self.graph, split=self.split,
+                                 selector=self.selector)
         self.engine.shutdown()
         self.engine = make_engine(self)
 

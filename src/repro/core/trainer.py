@@ -39,7 +39,8 @@ from .config import TaserConfig
 from .minibatch_selector import AdaptiveMiniBatchSelector, ChronologicalSelector
 from .neighbor_sampler import AdaptiveNeighborSampler
 from .pipeline import MiniBatchGenerator
-from .prefetcher import PreparedBatch, make_engine
+from .prefetcher import make_engine
+from .prep import PreparedBatch, PrepPipeline
 from .sample_loss import build_sample_loss
 
 __all__ = ["EpochStats", "TrainStep", "TrainResult", "TaserTrainer"]
@@ -60,6 +61,9 @@ class EpochStats:
     batch_losses: List[float] = field(default_factory=list)
     #: batch engine mode actually in effect this epoch (after fallback).
     engine_mode: str = "sync"
+    #: prep-runtime gather dedup ratio of the epoch (requested candidate id
+    #: occurrences / unique ids gathered at the feature-store choke point).
+    dedup_ratio: float = 1.0
 
     @property
     def total_runtime(self) -> float:
@@ -172,7 +176,12 @@ class TaserTrainer:
 
         self.negative_sampler = NegativeSampler(self.graph, seed=cfg.seed + 17)
 
-        # --- mini-batch engine (sync | prefetch | aot) ------------------------------------
+        # --- shared prep runtime + mini-batch engine (sync | prefetch | aot) --------------
+        # The prep pipeline is the single producer of PreparedBatch for every
+        # execution path (engines, evaluation, streaming, sharded replicas).
+        self.prep = PrepPipeline(self.generator, self.negative_sampler,
+                                 graph=self.graph, split=self.split,
+                                 selector=self.selector)
         self.engine = make_engine(self)
 
         self.history: List[EpochStats] = []
@@ -200,13 +209,9 @@ class TaserTrainer:
         data-parallel caller can average them across shard replicas first.
         """
         b = prepared.num_positives
-        minibatch = prepared.minibatch
-        if minibatch is None:
-            # Finish the state-dependent stages the engine could not run ahead
-            # (adaptive neighbor selection and any deeper hops).
-            minibatch = self.generator.build(prepared.roots, prepared.times,
-                                             train=True, first_hop=prepared.first_hop,
-                                             root_feat=prepared.root_feat)
+        # Finish the state-dependent prep stages the engine could not run
+        # ahead (adaptive neighbor selection and any deeper hops).
+        minibatch = self.prep.finish(prepared, train=True).minibatch
 
         with self.timer.section("PP"):
             self.model_optimizer.zero_grad()
@@ -321,7 +326,8 @@ class TaserTrainer:
                            cache_hit_rate=float(cache_hit),
                            effective_sample_size=float(ess),
                            batch_losses=losses,
-                           engine_mode=self.engine.effective_mode)
+                           engine_mode=self.engine.effective_mode,
+                           dedup_ratio=float(slice_stats.dedup_ratio))
         self.history.append(stats)
         return stats
 
@@ -332,7 +338,7 @@ class TaserTrainer:
         kwargs = dict(num_negatives=cfg.eval_negatives, max_edges=cfg.eval_max_edges,
                       seed=cfg.seed + 101)
         kwargs.update(overrides)
-        return LinkPredictionEvaluator(self.split, self.generator, self.backbone,
+        return LinkPredictionEvaluator(self.split, self.prep, self.backbone,
                                        self.predictor, **kwargs)
 
     def evaluate(self, which: str = "test", **overrides) -> Dict[str, float]:

@@ -11,6 +11,11 @@ All caches share the same interface:
 ``lookup(edge_ids) -> hit_mask``
     boolean array marking which requests hit the cache (also records the
     access for the replacement policy),
+``lookup_unique(unique_ids, counts) -> hit_mask``
+    deduplicated form used by the prep runtime's fused gather: one bitmap
+    probe and one frequency update per *unique* id, with the epoch hit/miss
+    accounting weighted by the occurrence counts so the recorded numbers
+    are identical to probing the full duplicate-bearing stream,
 ``end_epoch()``
     apply the replacement policy at an epoch boundary,
 ``hit_rate_history``
@@ -56,8 +61,39 @@ class FeatureCache:
         self._record(edge_ids)
         return hits
 
+    def lookup_unique(self, unique_ids: np.ndarray,
+                      counts: np.ndarray) -> np.ndarray:
+        """Return hit mask for deduplicated ``unique_ids``.
+
+        ``counts`` holds each unique id's occurrence multiplicity in the
+        original request stream.  The cache is probed (and the replacement
+        policy's statistics updated) once per unique id — strictly less work
+        than :meth:`lookup` on the full stream — while the per-epoch hit/miss
+        accounting stays occurrence-weighted, so hit rates are bitwise
+        identical to the non-deduplicated path.
+        """
+        unique_ids = np.asarray(unique_ids, dtype=np.int64).reshape(-1)
+        counts = np.asarray(counts, dtype=np.int64).reshape(-1)
+        if unique_ids.shape != counts.shape:
+            raise ValueError("unique_ids and counts must be parallel arrays")
+        hits = self.cached[unique_ids]
+        self._epoch_hits += int(counts[hits].sum())
+        self._epoch_requests += int(counts.sum())
+        self._record_unique(unique_ids, counts)
+        return hits
+
     def _record(self, edge_ids: np.ndarray) -> None:
         """Hook for policies that track access statistics."""
+
+    def _record_unique(self, unique_ids: np.ndarray, counts: np.ndarray) -> None:
+        """Deduplicated form of :meth:`_record` (ids are unique, weighted).
+
+        Defaults to expanding back into :meth:`_record` so a policy that
+        overrides only the classic hook still sees every access; policies
+        override this too when they can exploit the unique-id form directly
+        (see :class:`DynamicFeatureCache`).
+        """
+        self._record(np.repeat(unique_ids, counts))
 
     def end_epoch(self) -> None:
         """Close the epoch: store the hit rate and run the replacement policy."""
@@ -138,6 +174,11 @@ class DynamicFeatureCache(FeatureCache):
 
     def _record(self, edge_ids: np.ndarray) -> None:
         np.add.at(self.frequency, edge_ids, 1)
+
+    def _record_unique(self, unique_ids: np.ndarray, counts: np.ndarray) -> None:
+        # Ids are unique, so plain fancy-index accumulation replaces the much
+        # slower ``np.add.at`` scatter — same resulting frequencies.
+        self.frequency[unique_ids] += counts
 
     def grow(self, num_edges: int, capacity: Optional[int] = None) -> None:
         extra = num_edges - self.num_edges

@@ -3,8 +3,11 @@
 A :class:`ShardWorker` owns one shard's complete single-worker training
 stack — a :class:`~repro.core.trainer.TaserTrainer` built over the shard's
 event view, with its own T-CSR, neighbor finder, feature store/cache slice,
-batch engine and model *replica*.  The sharded trainer drives all workers in
-lock-step through the split step protocol:
+prep runtime (:class:`~repro.core.prep.PrepPipeline` — the shard's batches
+are prepared through the same shared pipeline as every other execution
+path, including its deduplicated fused gather), batch engine and model
+*replica*.  The sharded trainer drives all workers in lock-step through the
+split step protocol:
 
 1. :meth:`model_backward`  — generate the shard's next mini-batch (through
    the shard's own sync/prefetch/aot engine) and run forward + backward,
@@ -204,6 +207,7 @@ class ShardWorker:
             "runtime": runtime,
             "cache_hit_rate": (slice_stats.hit_rate
                                if t.cache is not None else 0.0),
+            "dedup_ratio": slice_stats.dedup_ratio,
             "slice_stats": slice_stats.as_dict(),
             "effective_sample_size": float(ess),
             "num_events": t.graph.num_edges,

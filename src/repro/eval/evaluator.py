@@ -3,6 +3,12 @@
 Implements the DistTGL protocol used by the paper: every evaluation edge is
 scored against ``num_negatives`` randomly drawn destination nodes *at the
 same timestamp* and ranked by the edge predictor.
+
+Evaluation batches are prepared through the shared prep runtime
+(:class:`~repro.core.prep.PrepPipeline`), the same staged pipeline that
+serves training: eval therefore benefits from the deduplicated fused gather
+and its cache accounting, and any prep optimisation automatically covers
+the evaluation path.
 """
 
 from __future__ import annotations
@@ -23,16 +29,27 @@ __all__ = ["LinkPredictionEvaluator"]
 
 
 class LinkPredictionEvaluator:
-    """Ranks positive destinations against sampled negatives."""
+    """Ranks positive destinations against sampled negatives.
 
-    def __init__(self, split: TemporalSplit, generator, backbone: TGNNBackbone,
+    Parameters
+    ----------
+    split:
+        The temporal split whose ``train``/``val``/``test`` edges are scored.
+    prep:
+        The shared :class:`~repro.core.prep.PrepPipeline` that builds the
+        evaluation mini-batches (only its generator stages are used; the
+        evaluator owns its negative-sampling RNG so scoring never perturbs
+        training streams).
+    """
+
+    def __init__(self, split: TemporalSplit, prep, backbone: TGNNBackbone,
                  predictor: EdgePredictor, num_negatives: int = 49,
                  max_edges: Optional[int] = 300, batch_edges: int = 50,
                  seed: int = 0) -> None:
         if num_negatives <= 0:
             raise ValueError("num_negatives must be positive")
         self.split = split
-        self.generator = generator
+        self.prep = prep
         self.backbone = backbone
         self.predictor = predictor
         self.num_negatives = num_negatives
@@ -71,11 +88,10 @@ class LinkPredictionEvaluator:
                     ts = graph.ts[chunk]
                     b = chunk.size
                     negs = self.negatives.sample_matrix(b, k, exclude=dst)
-                    # Root layout: [src | dst | negatives (row-major)].
-                    roots = np.concatenate([src, dst, negs.reshape(-1)])
-                    times = np.concatenate([ts, ts, np.repeat(ts, k)])
-                    minibatch = self.generator.build(roots, times, train=False)
-                    embeddings = self.backbone.embed(minibatch)
+                    # Root layout [src | dst | negatives (row-major)] is
+                    # assembled by the prep runtime.
+                    prepared = self.prep.prepare_eval(src, dst, ts, negs)
+                    embeddings = self.backbone.embed(prepared.minibatch)
                     h_src = embeddings[np.arange(b)]
                     h_dst = embeddings[np.arange(b, 2 * b)]
                     h_neg = embeddings[np.arange(2 * b, 2 * b + b * k)]

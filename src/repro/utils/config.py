@@ -1,19 +1,12 @@
-"""Small helpers for dataclass-based configuration objects."""
+"""Deprecated shim: configuration helpers moved to :mod:`repro.core.config`.
+
+This module re-exports :func:`repro.core.config.asdict_shallow` so existing
+imports keep working; new code should import from ``repro.core.config`` (or
+``repro.core``) directly.  The repo now has a single config module.
+"""
 
 from __future__ import annotations
 
-import dataclasses
-from typing import Any, Dict
+from ..core.config import asdict_shallow
 
 __all__ = ["asdict_shallow"]
-
-
-def asdict_shallow(obj: Any) -> Dict[str, Any]:
-    """Shallow ``asdict`` for dataclasses (does not recurse into fields).
-
-    ``dataclasses.asdict`` deep-copies numpy arrays which is both slow and
-    unnecessary for logging configuration values.
-    """
-    if not dataclasses.is_dataclass(obj):
-        raise TypeError(f"{obj!r} is not a dataclass instance")
-    return {f.name: getattr(obj, f.name) for f in dataclasses.fields(obj)}
