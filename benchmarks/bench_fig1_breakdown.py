@@ -13,25 +13,39 @@ trajectory of the prep path itself: every row records ``prep_seconds`` /
 ``prop_seconds`` (gate-compatible leaf names, see ``tools/bench_gate.py``)
 plus the deduplicated-gather statistics (``dedup_ratio``, unique-id counts)
 from ``FeatureStore.snapshot()``, and the payload carries a run-vs-replay
-determinism hash pair over the batch-loss trajectory.  The wikipedia variant
-has a committed baseline under ``benchmarks/baselines/`` so prep-path
-regressions fail the bench gate like shard/stream regressions already do.
+determinism hash pair over the batch-loss trajectory.
+
+Since the pluggable array-backend runtime landed, the wikipedia variant also
+tracks the *propagation* half per backend: the largest-budget cell is trained
+under both the ``reference`` and the ``fused`` backend
+(``repro.tensor.backend``), recording per-backend ``prop_seconds`` and the
+workspace-arena reuse counters, and the payload carries a
+``backend_equivalence`` hash pair (reference trajectory vs fused trajectory)
+that the bench gate enforces at every scale — a fused kernel that stops
+being bitwise-identical to the reference fails CI even at smoke scale.  The
+wikipedia variant has a committed baseline under ``benchmarks/baselines/``
+so prep- and prop-path regressions fail the bench gate like shard/stream
+regressions already do.
 """
 
 import pytest
 
-from repro.bench import emit_bench_json, quick_config
+from repro.bench import bench_scale, emit_bench_json, quick_config
 from repro.bench.breakdown import runtime_breakdown
 
 NEIGHBOR_SWEEP = [5, 10, 15]
+ARRAY_BACKENDS = ("reference", "fused")
+#: epochs of the per-backend propagation experiment: epoch 0 absorbs numpy /
+#: allocator / workspace-arena warm-up, later epochs measure steady state.
+BACKEND_EPOCHS = 3
 
 
-def _budget_config(budget):
+def _budget_config(budget, backend="reference", max_batches=4):
     return quick_config(
         backbone="tgat", adaptive_minibatch=False, adaptive_neighbor=False,
         finder="original", cache_ratio=0.0, num_neighbors=budget,
-        num_candidates=budget, batch_size=100, max_batches_per_epoch=4,
-        eval_max_edges=10, seed=0)
+        num_candidates=budget, batch_size=100, max_batches_per_epoch=max_batches,
+        eval_max_edges=10, seed=0, array_backend=backend)
 
 
 def _sweep(graph, name):
@@ -57,9 +71,42 @@ def _sweep(graph, name):
     return rows, determinism
 
 
-def _payload(rows, determinism):
-    return {"rows": {str(k): v for k, v in rows.items()},
-            "determinism": determinism}
+def _backend_sweep(graph, name):
+    """Train the largest-budget cell under each array backend.
+
+    Uses more batches per epoch than the budget sweep so the steady-state
+    allocation behaviour — the thing the fused backend's workspace arena
+    changes — dominates one-off warm-up costs, and averages over
+    ``BACKEND_EPOCHS`` epochs to damp allocator jitter.
+    """
+    budget = NEIGHBOR_SWEEP[-1]
+    rows = {}
+    for backend in ARRAY_BACKENDS:
+        row = runtime_breakdown(
+            graph, _budget_config(budget, backend=backend, max_batches=12),
+            label=f"{name}-{backend}", epochs=BACKEND_EPOCHS)
+        rows[backend] = {
+            "prop_seconds": row.pp,
+            "prep_seconds": row.nf + row.fs,
+            "loss_hash": row.loss_hash,
+            "workspace_allocations_saved": row.workspace_allocations_saved,
+            "workspace_bytes_saved": row.workspace_bytes_saved,
+        }
+    # Reference-vs-fused divergence pair: the two backends must produce the
+    # same batch-loss trajectory bit for bit; the gate enforces equality of
+    # any hash/replay_hash pair at every scale.
+    equivalence = {"hash": rows["reference"]["loss_hash"],
+                   "replay_hash": rows["fused"]["loss_hash"]}
+    return rows, equivalence
+
+
+def _payload(rows, determinism, backends=None, equivalence=None):
+    payload = {"rows": {str(k): v for k, v in rows.items()},
+               "determinism": determinism}
+    if backends is not None:
+        payload["backends"] = backends
+        payload["backend_equivalence"] = equivalence
+    return payload
 
 
 def _report(name, rows, determinism):
@@ -78,13 +125,45 @@ def _report(name, rows, determinism):
     assert determinism["hash"] == determinism["replay_hash"]
 
 
+def _report_backends(name, backends, equivalence):
+    ref = backends["reference"]
+    fused = backends["fused"]
+    reduction = (1.0 - fused["prop_seconds"] / ref["prop_seconds"]
+                 if ref["prop_seconds"] else 0.0)
+    print(f"Figure 1 ({name}): propagation per array backend "
+          f"(n={NEIGHBOR_SWEEP[-1]}, {BACKEND_EPOCHS} epochs)")
+    print(f"  reference  Prop={ref['prop_seconds']:.3f}s")
+    print(f"  fused      Prop={fused['prop_seconds']:.3f}s "
+          f"({reduction * 100:+.1f}% vs reference, "
+          f"{fused['workspace_allocations_saved']} allocations saved, "
+          f"{fused['workspace_bytes_saved'] / 1e6:.1f} MB reused)")
+    # Bitwise contract: identical loss trajectories across backends, always.
+    assert equivalence["hash"] == equivalence["replay_hash"]
+    # The fused backend must actually reuse workspace buffers.
+    assert fused["workspace_allocations_saved"] > 0
+    assert ref["workspace_allocations_saved"] == 0
+    # Headline speedup, asserted where wall-clock is trustworthy (CI smoke
+    # runners are too noisy to block a merge on; the committed baseline +
+    # bench gate track the smoke-scale trajectory instead).
+    if bench_scale() >= 0.5:
+        assert reduction >= 0.10
+
+
 @pytest.mark.paper("Figure 1")
 def test_fig1_tgat_runtime_breakdown_wikipedia(benchmark, wikipedia_graph):
-    rows, determinism = benchmark.pedantic(
-        lambda: _sweep(wikipedia_graph, "wikipedia"), rounds=1, iterations=1)
+    def experiment():
+        rows, determinism = _sweep(wikipedia_graph, "wikipedia")
+        backends, equivalence = _backend_sweep(wikipedia_graph, "wikipedia")
+        return rows, determinism, backends, equivalence
+
+    rows, determinism, backends, equivalence = benchmark.pedantic(
+        experiment, rounds=1, iterations=1)
     _report("wikipedia", rows, determinism)
+    _report_backends("wikipedia", backends, equivalence)
     benchmark.extra_info["rows"] = {str(k): v for k, v in rows.items()}
-    emit_bench_json("fig1_breakdown_wikipedia", _payload(rows, determinism))
+    benchmark.extra_info["backends"] = backends
+    emit_bench_json("fig1_breakdown_wikipedia",
+                    _payload(rows, determinism, backends, equivalence))
 
 
 @pytest.mark.paper("Figure 1")

@@ -13,6 +13,11 @@ Reproduced shape (asserted):
 * the fully-optimised configuration is faster than the baseline, and the
   TGAT speedup exceeds the GraphMixer speedup (TGAT's two-hop sampling
   suffers more from slow mini-batch generation).
+
+The emitted JSON additionally records per-array-backend ``prop_seconds`` of
+the fully-optimised TGAT row (``reference`` vs ``fused``,
+``repro.tensor.backend``) with a ``backend_equivalence`` hash pair the bench
+gate enforces at every scale.
 """
 
 import pytest
@@ -30,6 +35,27 @@ def _run_breakdown(graph, backbone):
     for label, config in system_configurations(base):
         rows[label] = runtime_breakdown(graph, config, label=label, epochs=1)
     return rows
+
+
+def _run_backend_rows(graph):
+    """Per-array-backend propagation time of the fully-optimised TGAT cell."""
+    from dataclasses import replace
+
+    base = quick_config(backbone="tgat", adaptive_minibatch=True,
+                        adaptive_neighbor=True, batch_size=150,
+                        max_batches_per_epoch=6, eval_max_edges=10, seed=0,
+                        finder="gpu", cache_ratio=0.3)
+    rows = {}
+    for backend in ("reference", "fused"):
+        row = runtime_breakdown(graph, replace(base, array_backend=backend),
+                                label=f"+30% Cache/{backend}", epochs=1)
+        rows[backend] = {
+            "prop_seconds": row.pp,
+            "loss_hash": row.loss_hash,
+            "workspace_allocations_saved": row.workspace_allocations_saved,
+        }
+    return rows, {"hash": rows["reference"]["loss_hash"],
+                  "replay_hash": rows["fused"]["loss_hash"]}
 
 
 def _print_rows(rows, backbone):
@@ -78,13 +104,24 @@ def test_table3_runtime_breakdown(benchmark, wikipedia_graph):
     # TGAT (2-hop) benefits more from the optimisations than GraphMixer (1-hop).
     assert speedups["tgat"] > speedups["graphmixer"]
 
+    backend_rows, equivalence = _run_backend_rows(wikipedia_graph)
+    print("per-backend Prop of the fully-optimised TGAT cell: "
+          + ", ".join(f"{name}={row['prop_seconds']:.4f}s"
+                      for name, row in backend_rows.items()))
+    # Bitwise contract: the fused backend's trajectory matches the reference.
+    assert equivalence["hash"] == equivalence["replay_hash"]
+    assert backend_rows["fused"]["workspace_allocations_saved"] > 0
+
     benchmark.extra_info["speedups"] = speedups
     benchmark.extra_info["rows"] = {
         backbone: {label: row.as_dict() for label, row in rows.items()}
         for backbone, rows in results.items()}
+    benchmark.extra_info["backends"] = backend_rows
     emit_bench_json("table3_runtime", {
         "speedups": speedups,
         "rows": benchmark.extra_info["rows"],
+        "backends": backend_rows,
+        "backend_equivalence": equivalence,
     })
 
 

@@ -20,6 +20,7 @@ Examples
     python -m repro --dataset wikipedia --backbone graphmixer --variant taser
     python -m repro --dataset reddit --backbone tgat --variant baseline \
         --epochs 10 --num-neighbors 10 --num-candidates 25 --seed 3
+    python -m repro --dataset wikipedia --backend fused --json
     python -m repro train --dataset wikipedia --workers 4 \
         --shard-policy temporal --worker-backend thread --json
     python -m repro stream --dataset wikipedia --chunk-size 500 \
@@ -37,6 +38,8 @@ from typing import Optional, Sequence
 
 from .core import TaserConfig, TaserTrainer
 from .graph import DATASET_NAMES, load_dataset
+from .tensor.backend import (BACKEND_ENV_VAR, available_backends,
+                             resolve_backend_name)
 
 __all__ = ["build_parser", "build_stream_parser", "build_train_parser", "main",
            "run", "run_stream", "run_train"]
@@ -59,6 +62,35 @@ def _positive_int(text: str) -> int:
     if value < 1:
         raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
     return value
+
+
+def _backend_name(text: str) -> str:
+    """Argparse type: reject unknown array backends at parse time with the
+    registered-backend list (same style as the engine/depth validation)."""
+    if text not in available_backends():
+        raise argparse.ArgumentTypeError(
+            f"unknown array backend {text!r}: registered backends are "
+            f"{', '.join(available_backends())}")
+    return text
+
+
+def _validate_env_backend(parser: argparse.ArgumentParser,
+                          args: argparse.Namespace) -> None:
+    """Reject a bad ``REPRO_BACKEND`` environment value at parse time.
+
+    Without ``--backend``, the config resolves the backend from the
+    environment; validating here surfaces a typo as a normal usage error
+    (with the registered-backend list) instead of a traceback mid-run.
+    Runs *after* ``parse_args`` and only when no explicit ``--backend`` was
+    given: an explicit flag wins over the environment, and ``--help`` must
+    keep working regardless of a stale ``REPRO_BACKEND``.
+    """
+    if getattr(args, "backend", None) is not None:
+        return
+    try:
+        resolve_backend_name(None)
+    except ValueError as exc:
+        parser.error(str(exc))
 
 
 def _add_training_cell_args(parser: argparse.ArgumentParser,
@@ -87,6 +119,12 @@ def _add_training_cell_args(parser: argparse.ArgumentParser,
                         default="sync", help=engine_help)
     parser.add_argument("--prefetch-depth", type=_positive_int, default=2,
                         help="bounded-queue depth of the prefetch engine (>= 1)")
+    parser.add_argument("--backend", type=_backend_name, default=None,
+                        help="array backend of the propagation hot path: "
+                             "'reference' (plain numpy) or 'fused' (buffer-"
+                             "reusing kernels, bitwise-identical results); "
+                             f"default resolves ${BACKEND_ENV_VAR} then "
+                             "'reference'")
     parser.add_argument("--decoder", choices=["linear", "gat", "gatv2", "transformer"],
                         default="linear")
     parser.add_argument("--cache-ratio", type=float, default=0.2)
@@ -109,6 +147,7 @@ def _taser_config(args: argparse.Namespace) -> TaserConfig:
         num_neighbors=args.num_neighbors, num_candidates=args.num_candidates,
         finder=args.finder, decoder=args.decoder, cache_ratio=args.cache_ratio,
         batch_engine=args.batch_engine, prefetch_depth=args.prefetch_depth,
+        array_backend=args.backend,
         batch_size=args.batch_size, epochs=args.epochs,
         max_batches_per_epoch=args.max_batches_per_epoch,
         lr=args.lr, eval_negatives=args.eval_negatives,
@@ -147,6 +186,9 @@ def run(args: argparse.Namespace) -> dict:
         "epochs": args.epochs,
         "batch_engine": args.batch_engine,
         "batch_engine_effective": trainer.engine.effective_mode,
+        "array_backend": trainer.array_backend.name,
+        "workspace_allocations_saved": sum(
+            s.workspace_allocations_saved for s in result.history),
         "val_mrr": result.val_mrr,
         "test_mrr": result.test_mrr,
         "test_metrics": result.test_metrics,
@@ -220,7 +262,9 @@ def run_train(args: argparse.Namespace) -> dict:
 
 
 def _train_main(argv: Sequence[str]) -> int:
-    args = build_train_parser().parse_args(argv)
+    parser = build_train_parser()
+    args = parser.parse_args(argv)
+    _validate_env_backend(parser, args)
     summary = run_train(args)
     if args.json:
         print(json.dumps(summary, indent=2, default=float))
@@ -290,6 +334,9 @@ def build_stream_parser() -> argparse.ArgumentParser:
                              "is invalidated by every ingested chunk)")
     parser.add_argument("--prefetch-depth", type=_positive_int, default=2,
                         help="bounded-queue depth of the prefetch engine (>= 1)")
+    parser.add_argument("--backend", type=_backend_name, default=None,
+                        help="array backend of the propagation hot path "
+                             f"(default: ${BACKEND_ENV_VAR} then 'reference')")
     parser.add_argument("--cache-ratio", type=float, default=0.2)
     parser.add_argument("--lr", type=float, default=2e-3)
     parser.add_argument("--eval-negatives", type=int, default=49)
@@ -317,7 +364,8 @@ def run_stream(args: argparse.Namespace) -> dict:
         hidden_dim=args.hidden_dim, time_dim=args.time_dim,
         num_neighbors=args.num_neighbors, num_candidates=args.num_candidates,
         batch_size=args.batch_size, batch_engine=args.batch_engine,
-        prefetch_depth=args.prefetch_depth, cache_ratio=args.cache_ratio,
+        prefetch_depth=args.prefetch_depth, array_backend=args.backend,
+        cache_ratio=args.cache_ratio,
         lr=args.lr, eval_negatives=args.eval_negatives, seed=args.seed,
     )
     warmup = args.warmup_events if args.warmup_events is not None \
@@ -348,7 +396,9 @@ def run_stream(args: argparse.Namespace) -> dict:
 
 
 def _stream_main(argv: Sequence[str]) -> int:
-    args = build_stream_parser().parse_args(argv)
+    parser = build_stream_parser()
+    args = parser.parse_args(argv)
+    _validate_env_backend(parser, args)
     summary = run_stream(args)
     if args.json:
         print(json.dumps(summary, indent=2, default=float))
@@ -378,7 +428,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _stream_main(argv[1:])
     if argv and argv[0] == "train":
         return _train_main(argv[1:])
-    args = build_parser().parse_args(argv)
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    _validate_env_backend(parser, args)
     summary = run(args)
     if args.json:
         print(json.dumps(summary, indent=2, default=float))
@@ -391,6 +443,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     print(f"  final loss     : {summary['final_model_loss']:.4f}")
     print(f"  batch engine   : {summary['batch_engine']} "
           f"(effective {summary['batch_engine_effective']})")
+    print(f"  array backend  : {summary['array_backend']} "
+          f"({summary['workspace_allocations_saved']} allocations saved)")
     breakdown = ", ".join(f"{k}={v:.2f}s"
                           for k, v in sorted(summary["runtime_breakdown_seconds"].items()))
     print(f"  runtime        : {breakdown}")

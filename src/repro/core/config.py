@@ -21,9 +21,8 @@ def asdict_shallow(obj: Any) -> Dict[str, Any]:
     """Shallow ``asdict`` for dataclasses (does not recurse into fields).
 
     ``dataclasses.asdict`` deep-copies numpy arrays which is both slow and
-    unnecessary for logging configuration values.  Lives here so the repo
-    has a single config module (``repro.utils.config`` is a deprecated
-    re-export shim).
+    unnecessary for logging configuration values.  Lives here, in the repo's
+    single config module.
     """
     if not dataclasses.is_dataclass(obj):
         raise TypeError(f"{obj!r} is not a dataclass instance")
@@ -113,6 +112,16 @@ class TaserConfig:
     #: bounded-queue depth of the "prefetch" engine (batches generated ahead).
     prefetch_depth: int = 2
 
+    # -- array backend ------------------------------------------------------------
+    #: array backend of the propagation hot path (repro.tensor.backend):
+    #: "reference" (plain numpy, the semantics anchor) or "fused" (out=/
+    #: in-place kernels over reusable workspace arenas; bitwise-identical
+    #: trajectories).  None resolves the REPRO_BACKEND environment variable
+    #: and falls back to "reference".  The trainer installs the resolved
+    #: backend process-globally, so sharded worker processes re-install it
+    #: from the config they receive.
+    array_backend: Optional[str] = None
+
     # -- memory hierarchy ---------------------------------------------------------------
     #: fraction of edge features cached in simulated VRAM (0 disables the cache).
     cache_ratio: float = 0.2
@@ -156,11 +165,22 @@ class TaserConfig:
             raise ValueError(
                 "the TGL pointer-array finder only supports chronological order and "
                 "cannot be combined with adaptive mini-batch selection (Section IV-C)")
+        # Unknown names (explicit or via REPRO_BACKEND) raise here with the
+        # registered-backend list, so a typo fails at configuration time
+        # rather than deep inside the first forward pass.
+        from ..tensor.backend import resolve_backend_name
+        resolve_backend_name(self.array_backend)
 
     @property
     def num_layers(self) -> int:
         """TGAT is a 2-layer model, GraphMixer a 1-layer model (paper setup)."""
         return 2 if self.backbone == "tgat" else 1
+
+    @property
+    def resolved_array_backend(self) -> str:
+        """The array backend this run uses (explicit > REPRO_BACKEND > reference)."""
+        from ..tensor.backend import resolve_backend_name
+        return resolve_backend_name(self.array_backend)
 
     @property
     def resolved_finder_policy(self) -> str:

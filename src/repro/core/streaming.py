@@ -350,9 +350,13 @@ class StreamingTrainer(TaserTrainer):
         was_training = self.backbone.training
         self.backbone.eval()
         self.predictor.eval()
+        self._activate_backend()
         try:
-            with no_grad():
+            with no_grad(), self.array_backend.arena_scope(self._workspace):
                 for start in range(0, picks.size, batch_edges):
+                    # Scoring-batch boundary of the array backend's workspace
+                    # arena (the previous batch's scores are copied out).
+                    self.array_backend.begin_batch()
                     s = src[start:start + batch_edges]
                     d = dst[start:start + batch_edges]
                     t = ts[start:start + batch_edges]
@@ -365,10 +369,10 @@ class StreamingTrainer(TaserTrainer):
                     h_src = embeddings[np.arange(b)]
                     h_dst = embeddings[np.arange(b, 2 * b)]
                     h_neg = embeddings[np.arange(2 * b, 2 * b + b * k)]
-                    pos_scores.append(self.predictor(h_src, h_dst).data)
+                    pos_scores.append(self.predictor(h_src, h_dst).data.copy())
                     src_rep = embeddings[np.repeat(np.arange(b), k)]
                     neg_scores.append(
-                        self.predictor(src_rep, h_neg).data.reshape(b, k))
+                        self.predictor(src_rep, h_neg).data.reshape(b, k).copy())
         finally:
             self.backbone.train(was_training)
             self.predictor.train(was_training)

@@ -22,6 +22,16 @@ steps on identical averaged gradients, replicas stay **bitwise identical**
 across workers for the whole run — there is no weight broadcast, only the
 gradient barrier.  All methods take and return picklable values only, so the
 same class serves the in-process pools and the process pool's children.
+
+Array backend: building the shard's :class:`~repro.core.trainer.TaserTrainer`
+re-resolves ``config.array_backend`` and installs it process-globally, so a
+process pool's children — including ``spawn`` children that start from a
+fresh interpreter — run the same backend as the parent.  Each replica owns a
+private workspace arena (trainers request one from the backend), so replicas
+that share a thread under the serial pool can never recycle each other's
+in-flight gradient buffers.  Gradients returned across the barrier are
+*copies*: the live ``p.grad`` arrays may sit in the replica's arena and be
+recycled at its next batch boundary.
 """
 
 from __future__ import annotations
@@ -93,6 +103,8 @@ class ShardWorker:
         self._step: Optional[TrainStep] = None
         self._losses: List[float] = []
         self._sample_losses: List[float] = []
+        self._ws_start = self.trainer.array_backend.arena_stats(
+            self.trainer._workspace)
 
     # -- epoch lifecycle ---------------------------------------------------------
 
@@ -115,6 +127,7 @@ class ShardWorker:
             t.finder.reset()
         t.timer.reset()
         t.feature_store.reset_stats()
+        self._ws_start = t.array_backend.arena_stats(t._workspace)
         self._batches = iter(t.engine.epoch(max_batches))
         self._step = None
         self._losses = []
@@ -135,7 +148,11 @@ class ShardWorker:
             self._step = None
             return None
         self._step = t._model_backward(prepared)
-        return [p.grad for p in t.model_optimizer.params]
+        # Copies, not live references: under the fused backend p.grad lives
+        # in this replica's workspace arena and is recycled at its next
+        # batch boundary — after the barrier has consumed these values.
+        return [None if p.grad is None else p.grad.copy()
+                for p in t.model_optimizer.params]
 
     def apply_model(self, grads: GradList) -> Optional[GradList]:
         """Apply averaged model gradients; run shard-local feedback updates.
@@ -162,7 +179,8 @@ class ShardWorker:
             self._sample_losses.append(0.0)
             return None
         self._sample_losses.append(float(sample_loss.data))
-        return [p.grad for p in t.sampler_optimizer.params]
+        return [None if p.grad is None else p.grad.copy()
+                for p in t.sampler_optimizer.params]
 
     def apply_sampler(self, grads: GradList) -> None:
         """Apply averaged sampler gradients (clip + step, AS phase)."""
@@ -200,6 +218,7 @@ class ShardWorker:
         ess = (t.selector.effective_sample_size()
                if isinstance(t.selector, AdaptiveMiniBatchSelector)
                else float(t.split.num_train))
+        ws_end = t.array_backend.arena_stats(t._workspace)
         return {
             "shard": self.task.shard_index,
             "losses": list(self._losses),
@@ -213,6 +232,12 @@ class ShardWorker:
             "num_events": t.graph.num_edges,
             "num_train": t.split.num_train,
             "engine_mode": t.engine.effective_mode,
+            "array_backend": t.array_backend.name,
+            "workspace_allocations_saved": int(
+                ws_end["workspace_reused"] - self._ws_start["workspace_reused"]),
+            "workspace_bytes_saved": int(
+                ws_end["workspace_bytes_reused"]
+                - self._ws_start["workspace_bytes_reused"]),
         }
 
     # -- replica state ----------------------------------------------------------------

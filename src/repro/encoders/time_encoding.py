@@ -9,6 +9,13 @@ Two encoders from the paper:
   (Eq. 8).  TASER's neighbor *encoder* reuses this fixed variant (Section
   III-B) because a fixed encoding keeps the sampler's probability landscape
   stable while the aggregator trains.
+
+Both encoders run in every hop of every batch, so their math dispatches
+through the active array backend: the learnable encoder's ``dt * w + b``
+chain is Tensor-composed (each primitive is arena-served under the ``fused``
+backend), and the fixed encoder calls the backend's dedicated
+``fixed_time_encoding`` kernel, which fuses the multiply and cosine into one
+reused workspace buffer — bitwise-identical to the reference expression.
 """
 
 from __future__ import annotations
@@ -19,6 +26,7 @@ import numpy as np
 
 from ..nn.module import Module, Parameter
 from ..tensor import Tensor
+from ..tensor.backend import get_backend
 
 __all__ = ["LearnableTimeEncoder", "FixedTimeEncoder"]
 
@@ -67,4 +75,4 @@ class FixedTimeEncoder(Module):
     def forward(self, delta_t: Union[np.ndarray, Tensor]) -> Tensor:
         dt = np.asarray(delta_t.data if isinstance(delta_t, Tensor) else delta_t,
                         dtype=np.float64)
-        return Tensor(np.cos(dt[..., None] * self.omega))
+        return Tensor(get_backend().fixed_time_encoding(dt, self.omega))

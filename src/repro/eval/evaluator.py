@@ -21,6 +21,7 @@ from ..graph.splits import TemporalSplit
 from ..models.base import TGNNBackbone
 from ..models.edge_predictor import EdgePredictor
 from ..tensor import no_grad
+from ..tensor.backend import get_backend
 from ..utils.rng import new_rng
 from .metrics import ranking_report
 from .negative_sampling import NegativeSampler
@@ -79,9 +80,14 @@ class LinkPredictionEvaluator:
         was_training = self.backbone.training
         self.backbone.eval()
         self.predictor.eval()
+        backend = get_backend()
         try:
             with no_grad():
                 for start in range(0, edges.size, self.batch_edges):
+                    # Scoring-batch boundary of the array backend: the
+                    # previous chunk's activations are dead (its scores were
+                    # copied out below), so workspace buffers can be reused.
+                    backend.begin_batch()
                     chunk = edges[start:start + self.batch_edges]
                     src = graph.src[chunk]
                     dst = graph.dst[chunk]
@@ -99,8 +105,10 @@ class LinkPredictionEvaluator:
                     # Repeat each source embedding once per negative.
                     src_rep = embeddings[np.repeat(np.arange(b), k)]
                     neg = self.predictor(src_rep, h_neg).data.reshape(b, k)
-                    pos_scores.append(pos)
-                    neg_scores.append(neg)
+                    # Copies: logits may live in workspace buffers that the
+                    # next chunk's begin_batch recycles.
+                    pos_scores.append(pos.copy())
+                    neg_scores.append(neg.copy())
         finally:
             self.backbone.train(was_training)
             self.predictor.train(was_training)

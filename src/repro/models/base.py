@@ -4,6 +4,12 @@ A backbone turns a :class:`~repro.models.minibatch.MiniBatch` into dynamic
 node embeddings for its root queries (Eq. 1-2).  The link-prediction head and
 the message construction are shared here; the per-layer COMB function is what
 each backbone specialises.
+
+Everything a backbone computes — message concatenation, the per-layer COMB,
+the recursive expansion — is Tensor math, so the whole propagation phase
+(the ``PP`` section of Table III) dispatches through the active array
+backend (:mod:`repro.tensor.backend`) and is bitwise-identical across
+backends.
 """
 
 from __future__ import annotations

@@ -4,6 +4,13 @@ TGAT (Eq. 4-7 of the paper) attends from a single query (the target node at
 time ``t``) over the messages of its sampled temporal neighborhood.  The
 attention here supports a per-neighbor validity mask so padded neighborhoods
 (nodes with fewer historical interactions than the budget) are excluded.
+
+The score → masked-softmax → aggregate chain is the propagation hot path of
+the TGAT backbone; all of its float math (projections, batched matmuls, the
+softmax kernel) dispatches through the active array backend
+(:mod:`repro.tensor.backend`) — the ``fused`` backend serves it from
+workspace arenas with bitwise-identical outputs.  Only the boolean head-mask
+broadcast below touches numpy directly (no float math moves through it).
 """
 
 from __future__ import annotations

@@ -2,6 +2,11 @@
 
 All layers take an explicit ``rng`` at construction so initialisation is
 reproducible, following the repository-wide determinism convention.
+
+Forward/backward math is Tensor-composed, so every layer dispatches through
+the active array backend (:mod:`repro.tensor.backend`); ``Linear``'s
+``x @ W^T + b`` and ``LayerNorm``'s normalisation chain are the dense
+primitives the ``fused`` backend serves from its workspace arenas.
 """
 
 from __future__ import annotations

@@ -8,6 +8,11 @@ that each neighbor's importance score can depend on the rest of the
 neighborhood.
 
 Input layout is ``(batch, num_neighbors, channels)``.
+
+The GELU feed-forward sub-blocks and the layer-norm primitives are the
+model's largest activations; they dispatch through the active array backend
+(:mod:`repro.tensor.backend`), so under the ``fused`` backend each block
+runs over reused workspace buffers with bitwise-identical results.
 """
 
 from __future__ import annotations
@@ -79,14 +84,19 @@ class MixerBlock(Module):
             neighbors; padded entries are zeroed before token mixing so they
             cannot leak information into the valid positions.
         """
+        fmask = None
         if mask is not None:
-            x = x * Tensor(np.asarray(mask, dtype=np.float64)[..., None])
+            # One float mask for both gating points: the conversion is mask
+            # plumbing, everything downstream dispatches through the array
+            # backend via the Tensor ops.
+            fmask = Tensor(np.asarray(mask, dtype=np.float64)[..., None])
+            x = x * fmask
         # Token mixing: transpose to (batch, dim, tokens), MLP over tokens.
         h = self.token_norm(x).swapaxes(1, 2)
         h = self.token_mlp(h).swapaxes(1, 2)
         x = x + h
         # Channel mixing.
         x = x + self.channel_mlp(self.channel_norm(x))
-        if mask is not None:
-            x = x * Tensor(np.asarray(mask, dtype=np.float64)[..., None])
+        if fmask is not None:
+            x = x * fmask
         return x

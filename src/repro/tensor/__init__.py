@@ -1,7 +1,16 @@
-"""Numpy-backed reverse-mode autograd engine (PyTorch substitute)."""
+"""Numpy-backed reverse-mode autograd engine (PyTorch substitute).
+
+All ndarray math in the engine's forward/backward hot paths dispatches
+through a pluggable :mod:`~repro.tensor.backend` (``reference`` — plain
+numpy, or ``fused`` — out=/in-place kernels over reusable workspace arenas;
+both bitwise-identical).  Select with ``set_backend`` / the ``REPRO_BACKEND``
+environment variable / the ``--backend`` CLI flag.
+"""
 
 from .tensor import Tensor, concatenate, stack, where, no_grad, is_grad_enabled
 from . import functional
+from .backend import (ArrayBackend, available_backends, get_backend,
+                      resolve_backend_name, set_backend, use_backend)
 from .gradcheck import gradcheck, numerical_grad
 
 __all__ = [
@@ -14,4 +23,10 @@ __all__ = [
     "functional",
     "gradcheck",
     "numerical_grad",
+    "ArrayBackend",
+    "available_backends",
+    "get_backend",
+    "resolve_backend_name",
+    "set_backend",
+    "use_backend",
 ]

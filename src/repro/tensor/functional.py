@@ -3,6 +3,15 @@
 These are the loss functions and stateless transforms used throughout the
 TGNN models and the TASER adaptive sampler.  Everything is expressed as
 vectorised whole-array operations.
+
+All float math here is composed from :class:`~repro.tensor.Tensor` ops, so
+it dispatches through the active :mod:`~repro.tensor.backend` automatically:
+under the ``fused`` backend the primitives inside :func:`layer_norm`,
+:func:`masked_softmax` and the losses run as ``out=`` kernels over workspace
+buffers while the autograd graph — and therefore every gradient — stays
+bitwise-identical to the ``reference`` backend.  Only mask plumbing (boolean
+arrays, ``-1e30`` fill values) touches numpy directly; it moves no float
+math.
 """
 
 from __future__ import annotations
@@ -134,7 +143,14 @@ def dropout(x: Tensor, p: float, training: bool,
 
 
 def layer_norm(x: Tensor, weight: Tensor, bias: Tensor, eps: float = 1e-5) -> Tensor:
-    """Layer normalisation over the last axis."""
+    """Layer normalisation over the last axis.
+
+    Deliberately composed from Tensor primitives (mean/sub/mul/sqrt/div)
+    rather than a single opaque kernel: the composition keeps forward *and*
+    backward bitwise-identical across backends, while the ``fused`` backend
+    serves each primitive from its workspace arena — the layer-norm hot path
+    allocates no fresh temporaries per call.
+    """
     mu = x.mean(axis=-1, keepdims=True)
     centered = x - mu
     var = (centered * centered).mean(axis=-1, keepdims=True)

@@ -24,13 +24,27 @@ Python-level loops over elements, and gradients are accumulated in place with
 ``+=`` to avoid temporaries.  Gradient flow through integer fancy-indexing
 (used for feature gathering) is implemented with ``np.add.at`` so repeated
 indices accumulate correctly — the same semantics as an embedding gather.
+
+Backend dispatch
+----------------
+Every ndarray computation in the forward rules and backward closures routes
+through the active :class:`~repro.tensor.backend.ArrayBackend`
+(:func:`~repro.tensor.backend.get_backend`) rather than calling numpy
+directly.  The graph *structure* is identical under every backend — a
+backend only chooses where each result is materialised (fresh allocation for
+``reference``, reused workspace buffers for ``fused``) — which is what keeps
+training trajectories bitwise-identical across backends.  Shape-only views
+(``reshape``, ``transpose``, ``expand_dims``) stay plain numpy: they move no
+data.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Iterable, List, Optional, Sequence, Tuple, Union
+from typing import Callable, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
+
+from .backend import get_backend
 
 __all__ = ["Tensor", "no_grad", "is_grad_enabled"]
 
@@ -85,14 +99,15 @@ def _unbroadcast(grad: np.ndarray, shape: Tuple[int, ...]) -> np.ndarray:
     """Reduce ``grad`` so its shape matches ``shape`` (reverse of broadcasting)."""
     if grad.shape == shape:
         return grad
+    B = get_backend()
     # Sum over leading dimensions that were added by broadcasting.
     extra = grad.ndim - len(shape)
     if extra > 0:
-        grad = grad.sum(axis=tuple(range(extra)))
+        grad = B.sum(grad, axis=tuple(range(extra)))
     # Sum over dimensions that were 1 in the original shape.
     axes = tuple(i for i, s in enumerate(shape) if s == 1 and grad.shape[i] != 1)
     if axes:
-        grad = grad.sum(axis=axes, keepdims=True)
+        grad = B.sum(grad, axis=axes, keepdims=True)
     return grad.reshape(shape)
 
 
@@ -168,7 +183,12 @@ class Tensor:
         return self.transpose()
 
     def numpy(self) -> np.ndarray:
-        """Return the underlying array (detached view)."""
+        """Return the underlying array (detached view).
+
+        Under the ``fused`` backend the array may live in a workspace buffer
+        that is recycled at the next batch boundary; copy it if it must
+        outlive the batch.
+        """
         return self.data
 
     def item(self) -> float:
@@ -200,12 +220,31 @@ class Tensor:
         return out
 
     def _accumulate(self, grad: np.ndarray) -> None:
-        """Accumulate ``grad`` into ``self.grad`` (allocating lazily)."""
+        """Accumulate ``grad`` into ``self.grad`` (allocating lazily).
+
+        The first contribution is materialised as ``grad + 0.0`` — one pass
+        instead of zero-filling a buffer and adding into it, and most graph
+        nodes only ever receive one contribution.  This is bitwise-identical
+        to the zero-buffer form (IEEE-754 addition of +0 normalises signed
+        zeros exactly the same way) *including the buffer layout* — which is
+        why the fast path requires a C-contiguous ``grad`` matching a
+        C-contiguous ``data``: ``np.add`` without ``out=`` propagates the
+        input's K-order, and a layout change would re-segment downstream
+        pairwise-summed reductions (e.g. the gradient-norm clip) by one ulp.
+        Later contributions accumulate in place.
+        """
         if not self.requires_grad:
             return
         if self.grad is None:
-            self.grad = np.zeros_like(self.data, dtype=np.float64)
-        self.grad += grad
+            B = get_backend()
+            if (isinstance(grad, np.ndarray) and grad.shape == self.data.shape
+                    and grad.flags.c_contiguous and self.data.flags.c_contiguous):
+                self.grad = B.add(grad, 0.0)
+            else:
+                self.grad = B.grad_zeros(self.data)
+                self.grad += grad
+        else:
+            self.grad += grad
 
     def zero_grad(self) -> None:
         """Reset the accumulated gradient to ``None``."""
@@ -255,7 +294,7 @@ class Tensor:
 
     def __add__(self, other: Union["Tensor", ArrayLike]) -> "Tensor":
         other = Tensor.ensure(other)
-        out = self._make(self.data + other.data, (self, other), "add")
+        out = self._make(get_backend().add(self.data, other.data), (self, other), "add")
         if out.requires_grad:
             def _backward():
                 if self.requires_grad:
@@ -270,13 +309,14 @@ class Tensor:
 
     def __sub__(self, other: Union["Tensor", ArrayLike]) -> "Tensor":
         other = Tensor.ensure(other)
-        out = self._make(self.data - other.data, (self, other), "sub")
+        out = self._make(get_backend().subtract(self.data, other.data), (self, other), "sub")
         if out.requires_grad:
             def _backward():
                 if self.requires_grad:
                     self._accumulate(_unbroadcast(out.grad, self.shape))
                 if other.requires_grad:
-                    other._accumulate(_unbroadcast(-out.grad, other.shape))
+                    other._accumulate(_unbroadcast(get_backend().negative(out.grad),
+                                                   other.shape))
             out._backward = _backward
         return out
 
@@ -284,22 +324,25 @@ class Tensor:
         return Tensor.ensure(other).__sub__(self)
 
     def __neg__(self) -> "Tensor":
-        out = self._make(-self.data, (self,), "neg")
+        out = self._make(get_backend().negative(self.data), (self,), "neg")
         if out.requires_grad:
             def _backward():
-                self._accumulate(-out.grad)
+                self._accumulate(get_backend().negative(out.grad))
             out._backward = _backward
         return out
 
     def __mul__(self, other: Union["Tensor", ArrayLike]) -> "Tensor":
         other = Tensor.ensure(other)
-        out = self._make(self.data * other.data, (self, other), "mul")
+        out = self._make(get_backend().multiply(self.data, other.data), (self, other), "mul")
         if out.requires_grad:
             def _backward():
+                B = get_backend()
                 if self.requires_grad:
-                    self._accumulate(_unbroadcast(out.grad * other.data, self.shape))
+                    self._accumulate(_unbroadcast(B.multiply(out.grad, other.data),
+                                                  self.shape))
                 if other.requires_grad:
-                    other._accumulate(_unbroadcast(out.grad * self.data, other.shape))
+                    other._accumulate(_unbroadcast(B.multiply(out.grad, self.data),
+                                                   other.shape))
             out._backward = _backward
         return out
 
@@ -308,14 +351,18 @@ class Tensor:
 
     def __truediv__(self, other: Union["Tensor", ArrayLike]) -> "Tensor":
         other = Tensor.ensure(other)
-        out = self._make(self.data / other.data, (self, other), "div")
+        out = self._make(get_backend().divide(self.data, other.data), (self, other), "div")
         if out.requires_grad:
             def _backward():
+                B = get_backend()
                 if self.requires_grad:
-                    self._accumulate(_unbroadcast(out.grad / other.data, self.shape))
+                    self._accumulate(_unbroadcast(B.divide(out.grad, other.data),
+                                                  self.shape))
                 if other.requires_grad:
-                    other._accumulate(_unbroadcast(-out.grad * self.data / (other.data ** 2),
-                                                   other.shape))
+                    other._accumulate(_unbroadcast(
+                        B.divide(B.multiply(B.negative(out.grad), self.data),
+                                 B.power(other.data, 2)),
+                        other.shape))
             out._backward = _backward
         return out
 
@@ -325,45 +372,49 @@ class Tensor:
     def __pow__(self, exponent: float) -> "Tensor":
         if not isinstance(exponent, (int, float)):
             raise TypeError("only scalar exponents are supported")
-        out = self._make(self.data ** exponent, (self,), "pow")
+        out = self._make(get_backend().power(self.data, exponent), (self,), "pow")
         if out.requires_grad:
             def _backward():
-                self._accumulate(out.grad * exponent * self.data ** (exponent - 1))
+                B = get_backend()
+                self._accumulate(B.multiply(B.multiply(out.grad, exponent),
+                                            B.power(self.data, exponent - 1)))
             out._backward = _backward
         return out
 
     def __matmul__(self, other: Union["Tensor", ArrayLike]) -> "Tensor":
         other = Tensor.ensure(other)
-        out = self._make(self.data @ other.data, (self, other), "matmul")
+        out = self._make(get_backend().matmul(self.data, other.data), (self, other), "matmul")
         if out.requires_grad:
             a, b = self.data, other.data
 
             def _backward():
+                B = get_backend()
                 g = out.grad
                 if self.requires_grad:
                     if a.ndim == 1 and b.ndim == 1:
-                        ga = g * b
+                        ga = B.multiply(g, b)
                     elif b.ndim == 1:
                         # a: (..., n, k) @ b: (k,) -> out: (..., n)
-                        ga = g[..., None] * b
+                        ga = B.multiply(g[..., None], b)
                     elif a.ndim == 1:
                         # a: (k,), b: (..., k, m), out: (..., m)
                         ga = np.einsum("...m,...km->k", g, b)
                     else:
                         # a: (..., n, k), b: (..., k, m)
-                        ga = g @ np.swapaxes(b, -1, -2)
+                        ga = B.matmul(g, np.swapaxes(b, -1, -2))
                     self._accumulate(_unbroadcast(ga, a.shape))
                 if other.requires_grad:
                     if a.ndim == 1 and b.ndim == 1:
-                        gb = g * a
+                        gb = B.multiply(g, a)
                     elif a.ndim == 1:
                         # a: (k,), b: (..., k, m), out: (..., m)
-                        gb = a[:, None] * g[..., None, :]
+                        gb = B.multiply(a[:, None], g[..., None, :])
                     elif b.ndim == 1:
                         # a: (..., n, k), b: (k,), out: (..., n)
-                        gb = (a * g[..., None]).reshape(-1, a.shape[-1]).sum(axis=0)
+                        gb = B.sum(B.multiply(a, g[..., None]).reshape(-1, a.shape[-1]),
+                                   axis=0)
                     else:
-                        gb = np.swapaxes(a, -1, -2) @ g
+                        gb = B.matmul(np.swapaxes(a, -1, -2), g)
                     other._accumulate(_unbroadcast(gb, b.shape))
             out._backward = _backward
         return out
@@ -389,19 +440,21 @@ class Tensor:
 
     def sum(self, axis: Optional[Union[int, Tuple[int, ...]]] = None,
             keepdims: bool = False) -> "Tensor":
-        out = self._make(self.data.sum(axis=axis, keepdims=keepdims), (self,), "sum")
+        out = self._make(get_backend().sum(self.data, axis=axis, keepdims=keepdims),
+                         (self,), "sum")
         if out.requires_grad:
             def _backward():
                 g = out.grad
                 if axis is not None and not keepdims:
                     g = np.expand_dims(g, axis=axis)
-                self._accumulate(np.broadcast_to(g, self.shape).astype(np.float64))
+                self._accumulate(get_backend().broadcast_grad(g, self.shape))
             out._backward = _backward
         return out
 
     def mean(self, axis: Optional[Union[int, Tuple[int, ...]]] = None,
              keepdims: bool = False) -> "Tensor":
-        out = self._make(self.data.mean(axis=axis, keepdims=keepdims), (self,), "mean")
+        out = self._make(get_backend().mean(self.data, axis=axis, keepdims=keepdims),
+                         (self,), "mean")
         if out.requires_grad:
             if axis is None:
                 count = self.data.size
@@ -410,18 +463,20 @@ class Tensor:
                 count = int(np.prod([self.shape[a] for a in axes]))
 
             def _backward():
+                B = get_backend()
                 g = out.grad
                 if axis is not None and not keepdims:
                     g = np.expand_dims(g, axis=axis)
-                self._accumulate(np.broadcast_to(g, self.shape).astype(np.float64) / count)
+                self._accumulate(B.divide(B.broadcast_grad(g, self.shape), count))
             out._backward = _backward
         return out
 
     def max(self, axis: Optional[int] = None, keepdims: bool = False) -> "Tensor":
-        data = self.data.max(axis=axis, keepdims=keepdims)
+        data = get_backend().amax(self.data, axis=axis, keepdims=keepdims)
         out = self._make(data, (self,), "max")
         if out.requires_grad:
             def _backward():
+                B = get_backend()
                 g = out.grad
                 d = data
                 if axis is not None and not keepdims:
@@ -430,7 +485,7 @@ class Tensor:
                 mask = (self.data == d).astype(np.float64)
                 mask /= np.maximum(mask.sum(axis=axis, keepdims=True) if axis is not None
                                    else mask.sum(), 1.0)
-                self._accumulate(mask * g)
+                self._accumulate(B.multiply(mask, g))
             out._backward = _backward
         return out
 
@@ -471,9 +526,8 @@ class Tensor:
         out = self._make(self.data[index], (self,), "getitem")
         if out.requires_grad:
             def _backward():
-                grad = np.zeros_like(self.data, dtype=np.float64)
-                np.add.at(grad, index, out.grad)
-                self._accumulate(grad)
+                self._accumulate(get_backend().index_add(self.data, index,
+                                                         out.grad))
             out._backward = _backward
         return out
 
@@ -504,89 +558,94 @@ class Tensor:
     # -- elementwise non-linearities -------------------------------------------------
 
     def exp(self) -> "Tensor":
-        data = np.exp(self.data)
+        data = get_backend().exp(self.data)
         out = self._make(data, (self,), "exp")
         if out.requires_grad:
             def _backward():
-                self._accumulate(out.grad * data)
+                self._accumulate(get_backend().multiply(out.grad, data))
             out._backward = _backward
         return out
 
     def log(self) -> "Tensor":
-        out = self._make(np.log(self.data), (self,), "log")
+        out = self._make(get_backend().log(self.data), (self,), "log")
         if out.requires_grad:
             def _backward():
-                self._accumulate(out.grad / self.data)
+                self._accumulate(get_backend().divide(out.grad, self.data))
             out._backward = _backward
         return out
 
     def sqrt(self) -> "Tensor":
-        data = np.sqrt(self.data)
+        data = get_backend().sqrt(self.data)
         out = self._make(data, (self,), "sqrt")
         if out.requires_grad:
             def _backward():
-                self._accumulate(out.grad * 0.5 / np.maximum(data, 1e-12))
+                B = get_backend()
+                self._accumulate(B.divide(B.multiply(out.grad, 0.5),
+                                          B.maximum(data, 1e-12)))
             out._backward = _backward
         return out
 
     def abs(self) -> "Tensor":
-        out = self._make(np.abs(self.data), (self,), "abs")
+        out = self._make(get_backend().absolute(self.data), (self,), "abs")
         if out.requires_grad:
             def _backward():
-                self._accumulate(out.grad * np.sign(self.data))
+                B = get_backend()
+                self._accumulate(B.multiply(out.grad, B.sign(self.data)))
             out._backward = _backward
         return out
 
     def cos(self) -> "Tensor":
-        out = self._make(np.cos(self.data), (self,), "cos")
+        out = self._make(get_backend().cos(self.data), (self,), "cos")
         if out.requires_grad:
             def _backward():
-                self._accumulate(-out.grad * np.sin(self.data))
+                B = get_backend()
+                self._accumulate(B.multiply(B.negative(out.grad), B.sin(self.data)))
             out._backward = _backward
         return out
 
     def sin(self) -> "Tensor":
-        out = self._make(np.sin(self.data), (self,), "sin")
+        out = self._make(get_backend().sin(self.data), (self,), "sin")
         if out.requires_grad:
             def _backward():
-                self._accumulate(out.grad * np.cos(self.data))
+                B = get_backend()
+                self._accumulate(B.multiply(out.grad, B.cos(self.data)))
             out._backward = _backward
         return out
 
     def tanh(self) -> "Tensor":
-        data = np.tanh(self.data)
+        data = get_backend().tanh_forward(self.data)
         out = self._make(data, (self,), "tanh")
         if out.requires_grad:
             def _backward():
-                self._accumulate(out.grad * (1.0 - data ** 2))
+                self._accumulate(get_backend().tanh_backward(out.grad, data))
             out._backward = _backward
         return out
 
     def sigmoid(self) -> "Tensor":
-        data = 1.0 / (1.0 + np.exp(-self.data))
+        data = get_backend().sigmoid_forward(self.data)
         out = self._make(data, (self,), "sigmoid")
         if out.requires_grad:
             def _backward():
-                self._accumulate(out.grad * data * (1.0 - data))
+                self._accumulate(get_backend().sigmoid_backward(out.grad, data))
             out._backward = _backward
         return out
 
     def relu(self) -> "Tensor":
-        mask = self.data > 0
-        out = self._make(self.data * mask, (self,), "relu")
+        data, mask = get_backend().relu_forward(self.data)
+        out = self._make(data, (self,), "relu")
         if out.requires_grad:
             def _backward():
-                self._accumulate(out.grad * mask)
+                self._accumulate(get_backend().relu_backward(out.grad, mask))
             out._backward = _backward
         return out
 
     def leaky_relu(self, negative_slope: float = 0.2) -> "Tensor":
-        mask = self.data > 0
-        data = np.where(mask, self.data, self.data * negative_slope)
+        data, mask = get_backend().leaky_relu_forward(self.data, negative_slope)
         out = self._make(data, (self,), "leaky_relu")
         if out.requires_grad:
             def _backward():
-                self._accumulate(out.grad * np.where(mask, 1.0, negative_slope))
+                self._accumulate(get_backend().leaky_relu_backward(
+                    out.grad, mask, negative_slope))
             out._backward = _backward
         return out
 
@@ -599,52 +658,45 @@ class Tensor:
         the model.
         """
         x = self.data
-        s = 1.0 / (1.0 + np.exp(-1.702 * x))
-        data = x * s
+        data, s = get_backend().gelu_forward(x)
         out = self._make(data, (self,), "gelu")
         if out.requires_grad:
             def _backward():
-                self._accumulate(out.grad * (s + 1.702 * x * s * (1.0 - s)))
+                self._accumulate(get_backend().gelu_backward(out.grad, x, s))
             out._backward = _backward
         return out
 
     def clip(self, low: float, high: float) -> "Tensor":
-        data = np.clip(self.data, low, high)
+        data = get_backend().clip(self.data, low, high)
         out = self._make(data, (self,), "clip")
         if out.requires_grad:
             mask = (self.data >= low) & (self.data <= high)
 
             def _backward():
-                self._accumulate(out.grad * mask)
+                self._accumulate(get_backend().multiply(out.grad, mask))
             out._backward = _backward
         return out
 
     # -- reductions along neighbourhood axes used by aggregators ----------------------
 
     def softmax(self, axis: int = -1) -> "Tensor":
-        shifted = self.data - self.data.max(axis=axis, keepdims=True)
-        e = np.exp(shifted)
-        data = e / e.sum(axis=axis, keepdims=True)
+        data = get_backend().softmax_forward(self.data, axis)
         out = self._make(data, (self,), "softmax")
         if out.requires_grad:
             def _backward():
-                g = out.grad
-                dot = (g * data).sum(axis=axis, keepdims=True)
-                self._accumulate(data * (g - dot))
+                self._accumulate(get_backend().softmax_backward(out.grad, data, axis))
             out._backward = _backward
         return out
 
     def log_softmax(self, axis: int = -1) -> "Tensor":
-        shifted = self.data - self.data.max(axis=axis, keepdims=True)
-        lse = np.log(np.exp(shifted).sum(axis=axis, keepdims=True))
-        data = shifted - lse
+        data = get_backend().log_softmax_forward(self.data, axis)
         out = self._make(data, (self,), "log_softmax")
         if out.requires_grad:
-            soft = np.exp(data)
+            soft = get_backend().exp(data)
 
             def _backward():
-                g = out.grad
-                self._accumulate(g - soft * g.sum(axis=axis, keepdims=True))
+                self._accumulate(get_backend().log_softmax_backward(out.grad, soft,
+                                                                    axis))
             out._backward = _backward
         return out
 
@@ -657,7 +709,7 @@ class Tensor:
 def concatenate(tensors: Sequence[Tensor], axis: int = -1) -> Tensor:
     """Concatenate tensors along ``axis`` with gradient routing back to each."""
     tensors = [Tensor.ensure(t) for t in tensors]
-    data = np.concatenate([t.data for t in tensors], axis=axis)
+    data = get_backend().concatenate([t.data for t in tensors], axis=axis)
     req = _GRAD_ENABLED and any(t.requires_grad for t in tensors)
     out = Tensor(data, requires_grad=req)
     if req:
@@ -699,7 +751,7 @@ def where(condition: np.ndarray, a: Tensor, b: Tensor) -> Tensor:
     """Element-wise select; ``condition`` is a plain boolean array."""
     a, b = Tensor.ensure(a), Tensor.ensure(b)
     cond = condition.data if isinstance(condition, Tensor) else np.asarray(condition)
-    data = np.where(cond, a.data, b.data)
+    data = get_backend().where(cond, a.data, b.data)
     req = _GRAD_ENABLED and (a.requires_grad or b.requires_grad)
     out = Tensor(data, requires_grad=req)
     if req:
@@ -707,9 +759,10 @@ def where(condition: np.ndarray, a: Tensor, b: Tensor) -> Tensor:
         out._op = "where"
 
         def _backward():
+            B = get_backend()
             if a.requires_grad:
-                a._accumulate(_unbroadcast(out.grad * cond, a.shape))
+                a._accumulate(_unbroadcast(B.multiply(out.grad, cond), a.shape))
             if b.requires_grad:
-                b._accumulate(_unbroadcast(out.grad * (~cond), b.shape))
+                b._accumulate(_unbroadcast(B.multiply(out.grad, ~cond), b.shape))
         out._backward = _backward
     return out

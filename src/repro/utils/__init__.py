@@ -1,9 +1,12 @@
-"""Shared utilities: deterministic RNG management, timing, logging, config."""
+"""Shared utilities: deterministic RNG management, timing and logging.
+
+Configuration helpers live in :mod:`repro.core.config`; the deprecated
+``repro.utils.config`` re-export shim has been removed.
+"""
 
 from .rng import RngMixin, new_rng, spawn_rngs, seed_everything
 from .timer import Timer, Stopwatch
 from .logging import get_logger
-from .config import asdict_shallow
 
 __all__ = [
     "RngMixin",
@@ -13,5 +16,4 @@ __all__ = [
     "Timer",
     "Stopwatch",
     "get_logger",
-    "asdict_shallow",
 ]

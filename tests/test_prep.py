@@ -186,9 +186,15 @@ class TestShardedConsumer:
 # -------------------------------------------------------------- config fold
 
 class TestConfigFold:
-    def test_single_config_module_with_shim(self):
-        from repro.core.config import asdict_shallow as canonical
-        from repro.utils.config import asdict_shallow as shimmed
-        from repro.utils import asdict_shallow as package_level
+    def test_single_config_module_shim_removed(self):
+        """repro.core.config is the only config module; the deprecated
+        repro.utils.config re-export shim is gone."""
+        import importlib
+
         from repro.core import asdict_shallow as core_level
-        assert canonical is shimmed is package_level is core_level
+        from repro.core.config import asdict_shallow as canonical
+        assert canonical is core_level
+        with pytest.raises(ModuleNotFoundError):
+            importlib.import_module("repro.utils.config")
+        import repro.utils as utils
+        assert not hasattr(utils, "asdict_shallow")

@@ -6,8 +6,9 @@ import time
 import numpy as np
 import pytest
 
+from repro.core.config import asdict_shallow
 from repro.utils import (new_rng, spawn_rngs, seed_everything, RngMixin, Timer,
-                         Stopwatch, get_logger, asdict_shallow)
+                         Stopwatch, get_logger)
 
 
 class TestRng:
