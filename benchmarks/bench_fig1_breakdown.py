@@ -26,6 +26,14 @@ being bitwise-identical to the reference fails CI even at smoke scale.  The
 wikipedia variant has a committed baseline under ``benchmarks/baselines/``
 so prep- and prop-path regressions fail the bench gate like shard/stream
 regressions already do.
+
+Since the pluggable prep-backend runtime landed, the wikipedia variant
+symmetrically tracks the *preparation* half per prep backend
+(``repro.core.prep_backend``): the largest-budget cell is trained under both
+the ``reference`` and the ``fused`` prep backend, recording per-prep-backend
+``prep_seconds``/``nf_seconds`` and the batched-probe workspace counters,
+and the payload carries a ``prep_backend_equivalence`` hash pair enforced by
+the gate at every scale, exactly like ``backend_equivalence``.
 """
 
 import pytest
@@ -35,17 +43,20 @@ from repro.bench.breakdown import runtime_breakdown
 
 NEIGHBOR_SWEEP = [5, 10, 15]
 ARRAY_BACKENDS = ("reference", "fused")
+PREP_BACKENDS = ("reference", "fused")
 #: epochs of the per-backend propagation experiment: epoch 0 absorbs numpy /
 #: allocator / workspace-arena warm-up, later epochs measure steady state.
 BACKEND_EPOCHS = 3
 
 
-def _budget_config(budget, backend="reference", max_batches=4):
+def _budget_config(budget, backend="reference", prep_backend="reference",
+                   max_batches=4):
     return quick_config(
         backbone="tgat", adaptive_minibatch=False, adaptive_neighbor=False,
         finder="original", cache_ratio=0.0, num_neighbors=budget,
         num_candidates=budget, batch_size=100, max_batches_per_epoch=max_batches,
-        eval_max_edges=10, seed=0, array_backend=backend)
+        eval_max_edges=10, seed=0, array_backend=backend,
+        prep_backend=prep_backend)
 
 
 def _sweep(graph, name):
@@ -100,12 +111,45 @@ def _backend_sweep(graph, name):
     return rows, equivalence
 
 
-def _payload(rows, determinism, backends=None, equivalence=None):
+def _prep_backend_sweep(graph, name):
+    """Train the largest-budget cell under each prep backend.
+
+    The mirror of :func:`_backend_sweep` for the preparation half: same
+    batch count and epoch averaging, rows keyed by prep backend with the
+    prep-side phase splits (``prep_seconds`` = NF + FS, plus bare
+    ``nf_seconds`` — the phase the batched composite-key probe replaces).
+    """
+    budget = NEIGHBOR_SWEEP[-1]
+    rows = {}
+    for prep_backend in PREP_BACKENDS:
+        row = runtime_breakdown(
+            graph, _budget_config(budget, prep_backend=prep_backend,
+                                  max_batches=12),
+            label=f"{name}-prep-{prep_backend}", epochs=BACKEND_EPOCHS)
+        rows[prep_backend] = {
+            "prep_seconds": row.nf + row.fs,
+            "nf_seconds": row.nf,
+            "prop_seconds": row.pp,
+            "loss_hash": row.loss_hash,
+        }
+    # Reference-vs-fused prep divergence pair: both prep backends must
+    # produce the same batch-loss trajectory bit for bit; the gate enforces
+    # equality of any hash/replay_hash pair at every scale.
+    equivalence = {"hash": rows["reference"]["loss_hash"],
+                   "replay_hash": rows["fused"]["loss_hash"]}
+    return rows, equivalence
+
+
+def _payload(rows, determinism, backends=None, equivalence=None,
+             prep_backends=None, prep_equivalence=None):
     payload = {"rows": {str(k): v for k, v in rows.items()},
                "determinism": determinism}
     if backends is not None:
         payload["backends"] = backends
         payload["backend_equivalence"] = equivalence
+    if prep_backends is not None:
+        payload["prep_backends"] = prep_backends
+        payload["prep_backend_equivalence"] = prep_equivalence
     return payload
 
 
@@ -149,21 +193,51 @@ def _report_backends(name, backends, equivalence):
         assert reduction >= 0.10
 
 
+def _report_prep_backends(name, prep_backends, equivalence):
+    ref = prep_backends["reference"]
+    fused = prep_backends["fused"]
+    reduction = (1.0 - fused["prep_seconds"] / ref["prep_seconds"]
+                 if ref["prep_seconds"] else 0.0)
+    print(f"Figure 1 ({name}): preparation per prep backend "
+          f"(n={NEIGHBOR_SWEEP[-1]}, {BACKEND_EPOCHS} epochs)")
+    print(f"  reference  Prep={ref['prep_seconds']:.3f}s "
+          f"(NF={ref['nf_seconds']:.3f}s)")
+    print(f"  fused      Prep={fused['prep_seconds']:.3f}s "
+          f"(NF={fused['nf_seconds']:.3f}s, "
+          f"{reduction * 100:+.1f}% vs reference)")
+    # Bitwise contract: identical loss trajectories across prep backends,
+    # always — even at smoke scale.
+    assert equivalence["hash"] == equivalence["replay_hash"]
+    # Headline speedup of the batched composite-key probe, asserted where
+    # wall-clock is trustworthy (smoke runners are too noisy to block on).
+    if bench_scale() >= 0.5:
+        assert reduction >= 0.10
+    elif reduction < 0.10:
+        print(f"  WARNING: prep reduction {reduction * 100:.1f}% < 10% "
+              "(warn-only below REPRO_BENCH_SCALE=0.5)")
+
+
 @pytest.mark.paper("Figure 1")
 def test_fig1_tgat_runtime_breakdown_wikipedia(benchmark, wikipedia_graph):
     def experiment():
         rows, determinism = _sweep(wikipedia_graph, "wikipedia")
         backends, equivalence = _backend_sweep(wikipedia_graph, "wikipedia")
-        return rows, determinism, backends, equivalence
+        prep_backends, prep_equivalence = _prep_backend_sweep(
+            wikipedia_graph, "wikipedia")
+        return (rows, determinism, backends, equivalence, prep_backends,
+                prep_equivalence)
 
-    rows, determinism, backends, equivalence = benchmark.pedantic(
-        experiment, rounds=1, iterations=1)
+    (rows, determinism, backends, equivalence, prep_backends,
+     prep_equivalence) = benchmark.pedantic(experiment, rounds=1, iterations=1)
     _report("wikipedia", rows, determinism)
     _report_backends("wikipedia", backends, equivalence)
+    _report_prep_backends("wikipedia", prep_backends, prep_equivalence)
     benchmark.extra_info["rows"] = {str(k): v for k, v in rows.items()}
     benchmark.extra_info["backends"] = backends
+    benchmark.extra_info["prep_backends"] = prep_backends
     emit_bench_json("fig1_breakdown_wikipedia",
-                    _payload(rows, determinism, backends, equivalence))
+                    _payload(rows, determinism, backends, equivalence,
+                             prep_backends, prep_equivalence))
 
 
 @pytest.mark.paper("Figure 1")

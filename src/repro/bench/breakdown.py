@@ -106,6 +106,8 @@ class BreakdownRow:
     loss_hash: str = ""
     #: array backend the run's propagation phase executed under.
     array_backend: str = "reference"
+    #: prep backend that produced the run's batches.
+    prep_backend: str = "reference"
     #: workspace-arena buffer checkouts served from a free list instead of a
     #: fresh allocation, summed over the run (0 under "reference").
     workspace_allocations_saved: int = 0
@@ -172,6 +174,7 @@ def runtime_breakdown(graph: TemporalGraph, config: TaserConfig, label: str,
                         ids_requested=ids_requested, ids_unique=ids_unique,
                         loss_hash=loss_trajectory_hash(trajectories),
                         array_backend=trainer.array_backend.name,
+                        prep_backend=trainer.prep.name,
                         workspace_allocations_saved=ws_saved,
                         workspace_bytes_saved=ws_bytes,
                         batch_losses=trajectories)

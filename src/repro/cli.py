@@ -38,6 +38,8 @@ from typing import Optional, Sequence
 
 from .core import TaserConfig, TaserTrainer
 from .graph import DATASET_NAMES, load_dataset
+from .core.prep_backend import (PREP_BACKEND_ENV_VAR, available_prep_backends,
+                                resolve_prep_backend_name)
 from .tensor.backend import (BACKEND_ENV_VAR, available_backends,
                              resolve_backend_name)
 
@@ -74,23 +76,38 @@ def _backend_name(text: str) -> str:
     return text
 
 
+def _prep_backend_name(text: str) -> str:
+    """Argparse type: reject unknown prep backends at parse time with the
+    registered-backend list (mirrors :func:`_backend_name`)."""
+    if text not in available_prep_backends():
+        raise argparse.ArgumentTypeError(
+            f"unknown prep backend {text!r}: registered backends are "
+            f"{', '.join(available_prep_backends())}")
+    return text
+
+
 def _validate_env_backend(parser: argparse.ArgumentParser,
                           args: argparse.Namespace) -> None:
-    """Reject a bad ``REPRO_BACKEND`` environment value at parse time.
+    """Reject bad ``REPRO_BACKEND`` / ``REPRO_PREP_BACKEND`` values at parse
+    time.
 
-    Without ``--backend``, the config resolves the backend from the
-    environment; validating here surfaces a typo as a normal usage error
-    (with the registered-backend list) instead of a traceback mid-run.
-    Runs *after* ``parse_args`` and only when no explicit ``--backend`` was
-    given: an explicit flag wins over the environment, and ``--help`` must
-    keep working regardless of a stale ``REPRO_BACKEND``.
+    Without ``--backend`` / ``--prep-backend``, the config resolves the
+    backends from the environment; validating here surfaces a typo as a
+    normal usage error (with the registered-backend list) instead of a
+    traceback mid-run.  Runs *after* ``parse_args`` and only when no
+    explicit flag was given: an explicit flag wins over the environment,
+    and ``--help`` must keep working regardless of a stale environment.
     """
-    if getattr(args, "backend", None) is not None:
-        return
-    try:
-        resolve_backend_name(None)
-    except ValueError as exc:
-        parser.error(str(exc))
+    if getattr(args, "backend", None) is None:
+        try:
+            resolve_backend_name(None)
+        except ValueError as exc:
+            parser.error(str(exc))
+    if getattr(args, "prep_backend", None) is None:
+        try:
+            resolve_prep_backend_name(None)
+        except ValueError as exc:
+            parser.error(str(exc))
 
 
 def _add_training_cell_args(parser: argparse.ArgumentParser,
@@ -125,6 +142,12 @@ def _add_training_cell_args(parser: argparse.ArgumentParser,
                              "reusing kernels, bitwise-identical results); "
                              f"default resolves ${BACKEND_ENV_VAR} then "
                              "'reference'")
+    parser.add_argument("--prep-backend", type=_prep_backend_name, default=None,
+                        help="prep backend of the batch-preparation hot path: "
+                             "'reference' (per-seed neighbor probes) or "
+                             "'fused' (batched composite-key T-CSR probing, "
+                             "bitwise-identical batches); default resolves "
+                             f"${PREP_BACKEND_ENV_VAR} then 'reference'")
     parser.add_argument("--decoder", choices=["linear", "gat", "gatv2", "transformer"],
                         default="linear")
     parser.add_argument("--cache-ratio", type=float, default=0.2)
@@ -147,7 +170,7 @@ def _taser_config(args: argparse.Namespace) -> TaserConfig:
         num_neighbors=args.num_neighbors, num_candidates=args.num_candidates,
         finder=args.finder, decoder=args.decoder, cache_ratio=args.cache_ratio,
         batch_engine=args.batch_engine, prefetch_depth=args.prefetch_depth,
-        array_backend=args.backend,
+        array_backend=args.backend, prep_backend=args.prep_backend,
         batch_size=args.batch_size, epochs=args.epochs,
         max_batches_per_epoch=args.max_batches_per_epoch,
         lr=args.lr, eval_negatives=args.eval_negatives,
@@ -187,6 +210,7 @@ def run(args: argparse.Namespace) -> dict:
         "batch_engine": args.batch_engine,
         "batch_engine_effective": trainer.engine.effective_mode,
         "array_backend": trainer.array_backend.name,
+        "prep_backend": trainer.prep.name,
         "workspace_allocations_saved": sum(
             s.workspace_allocations_saved for s in result.history),
         "val_mrr": result.val_mrr,
@@ -337,6 +361,10 @@ def build_stream_parser() -> argparse.ArgumentParser:
     parser.add_argument("--backend", type=_backend_name, default=None,
                         help="array backend of the propagation hot path "
                              f"(default: ${BACKEND_ENV_VAR} then 'reference')")
+    parser.add_argument("--prep-backend", type=_prep_backend_name, default=None,
+                        help="prep backend of the batch-preparation hot path "
+                             f"(default: ${PREP_BACKEND_ENV_VAR} then "
+                             "'reference')")
     parser.add_argument("--cache-ratio", type=float, default=0.2)
     parser.add_argument("--lr", type=float, default=2e-3)
     parser.add_argument("--eval-negatives", type=int, default=49)
@@ -365,6 +393,7 @@ def run_stream(args: argparse.Namespace) -> dict:
         num_neighbors=args.num_neighbors, num_candidates=args.num_candidates,
         batch_size=args.batch_size, batch_engine=args.batch_engine,
         prefetch_depth=args.prefetch_depth, array_backend=args.backend,
+        prep_backend=args.prep_backend,
         cache_ratio=args.cache_ratio,
         lr=args.lr, eval_negatives=args.eval_negatives, seed=args.seed,
     )
@@ -445,6 +474,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
           f"(effective {summary['batch_engine_effective']})")
     print(f"  array backend  : {summary['array_backend']} "
           f"({summary['workspace_allocations_saved']} allocations saved)")
+    print(f"  prep backend   : {summary['prep_backend']}")
     breakdown = ", ".join(f"{k}={v:.2f}s"
                           for k, v in sorted(summary["runtime_breakdown_seconds"].items()))
     print(f"  runtime        : {breakdown}")

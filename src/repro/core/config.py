@@ -122,6 +122,17 @@ class TaserConfig:
     #: from the config they receive.
     array_backend: Optional[str] = None
 
+    # -- prep backend -------------------------------------------------------------
+    #: prep backend of the batch-preparation hot path
+    #: (repro.core.prep_backend): "reference" (the unified prep runtime,
+    #: per-seed neighbor probes) or "fused" (batched composite-key T-CSR
+    #: probing with workspace-arena reuse; bitwise-identical batches and
+    #: trajectories).  None resolves the REPRO_PREP_BACKEND environment
+    #: variable and falls back to "reference".  Consumers build their
+    #: pipelines through the registry, so sharded worker processes re-resolve
+    #: the backend from the config they receive.
+    prep_backend: Optional[str] = None
+
     # -- memory hierarchy ---------------------------------------------------------------
     #: fraction of edge features cached in simulated VRAM (0 disables the cache).
     cache_ratio: float = 0.2
@@ -170,6 +181,8 @@ class TaserConfig:
         # rather than deep inside the first forward pass.
         from ..tensor.backend import resolve_backend_name
         resolve_backend_name(self.array_backend)
+        from .prep_backend import resolve_prep_backend_name
+        resolve_prep_backend_name(self.prep_backend)
 
     @property
     def num_layers(self) -> int:
@@ -181,6 +194,13 @@ class TaserConfig:
         """The array backend this run uses (explicit > REPRO_BACKEND > reference)."""
         from ..tensor.backend import resolve_backend_name
         return resolve_backend_name(self.array_backend)
+
+    @property
+    def resolved_prep_backend(self) -> str:
+        """The prep backend this run uses (explicit > REPRO_PREP_BACKEND >
+        reference)."""
+        from .prep_backend import resolve_prep_backend_name
+        return resolve_prep_backend_name(self.prep_backend)
 
     @property
     def resolved_finder_policy(self) -> str:

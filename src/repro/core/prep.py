@@ -125,6 +125,9 @@ class PrepPipeline:
         Training-schedule components; optional for evaluation-only pipelines.
     """
 
+    #: registry name of this prep backend (see :mod:`repro.core.prep_backend`).
+    name = "reference"
+
     def __init__(self, generator: MiniBatchGenerator,
                  negative_sampler: Optional["NegativeSampler"] = None,
                  graph: Optional["TemporalGraph"] = None,

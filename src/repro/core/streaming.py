@@ -55,7 +55,7 @@ from .config import TaserConfig
 from .minibatch_selector import ChronologicalSelector
 from .pipeline import MiniBatchGenerator
 from .prefetcher import make_engine
-from .prep import PrepPipeline
+from .prep_backend import make_prep_pipeline
 from .trainer import EpochStats, TaserTrainer
 
 __all__ = ["EventChunk", "EventStream", "split_warmup", "StreamStats",
@@ -412,9 +412,10 @@ class StreamingTrainer(TaserTrainer):
         self.split = _window_split(self.graph, self.window_events)
         self.selector = ChronologicalSelector(self.split.num_train,
                                               cfg.batch_size)
-        self.prep = PrepPipeline(self.generator, self.negative_sampler,
-                                 graph=self.graph, split=self.split,
-                                 selector=self.selector)
+        self.prep = make_prep_pipeline(self.config.resolved_prep_backend,
+                                       self.generator, self.negative_sampler,
+                                       graph=self.graph, split=self.split,
+                                       selector=self.selector)
         self.engine.shutdown()
         self.engine = make_engine(self)
 

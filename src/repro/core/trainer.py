@@ -40,7 +40,8 @@ from .minibatch_selector import AdaptiveMiniBatchSelector, ChronologicalSelector
 from .neighbor_sampler import AdaptiveNeighborSampler
 from .pipeline import MiniBatchGenerator
 from .prefetcher import make_engine
-from .prep import PreparedBatch, PrepPipeline
+from .prep import PreparedBatch
+from .prep_backend import make_prep_pipeline
 from .sample_loss import build_sample_loss
 
 __all__ = ["EpochStats", "TrainStep", "TrainResult", "TaserTrainer"]
@@ -66,6 +67,8 @@ class EpochStats:
     dedup_ratio: float = 1.0
     #: array backend the propagation hot path ran under this epoch.
     array_backend: str = "reference"
+    #: prep backend that prepared this epoch's batches.
+    prep_backend: str = "reference"
     #: temporary allocations the backend's workspace arena saved this epoch
     #: (buffer checkouts served from a free list instead of np.empty);
     #: 0 under the reference backend, which has no arena.
@@ -202,9 +205,10 @@ class TaserTrainer:
         # --- shared prep runtime + mini-batch engine (sync | prefetch | aot) --------------
         # The prep pipeline is the single producer of PreparedBatch for every
         # execution path (engines, evaluation, streaming, sharded replicas).
-        self.prep = PrepPipeline(self.generator, self.negative_sampler,
-                                 graph=self.graph, split=self.split,
-                                 selector=self.selector)
+        self.prep = make_prep_pipeline(cfg.resolved_prep_backend,
+                                       self.generator, self.negative_sampler,
+                                       graph=self.graph, split=self.split,
+                                       selector=self.selector)
         self.engine = make_engine(self)
 
         self.history: List[EpochStats] = []
@@ -375,6 +379,7 @@ class TaserTrainer:
                            engine_mode=self.engine.effective_mode,
                            dedup_ratio=float(slice_stats.dedup_ratio),
                            array_backend=self.array_backend.name,
+                           prep_backend=self.prep.name,
                            workspace_allocations_saved=int(
                                ws_end["workspace_reused"] - ws_start["workspace_reused"]),
                            workspace_bytes_saved=int(

@@ -51,6 +51,11 @@ class TCSR:
         self.indices = np.ascontiguousarray(self.indices, dtype=np.int64)
         self.eid = np.ascontiguousarray(self.eid, dtype=np.int64)
         self.ts = np.ascontiguousarray(self.ts, dtype=np.float64)
+        # Lazily-built composite probe keys for the batched pivot search (see
+        # :meth:`pivots`).  The arrays above are treated as immutable after
+        # construction (the streaming builder emits a *fresh* TCSR per
+        # snapshot), so the cache never needs invalidation.
+        self._probe_cache: Optional[Tuple[np.ndarray, int, np.ndarray]] = None
 
     @property
     def num_entries(self) -> int:
@@ -80,23 +85,48 @@ class TCSR:
         lo, hi = int(self.indptr[node]), int(self.indptr[node + 1])
         return lo + int(np.searchsorted(self.ts[lo:hi], t, side="left"))
 
+    def _probe_keys(self) -> Tuple[np.ndarray, int, np.ndarray]:
+        """Composite ``(node, timestamp-rank)`` keys for the batched probe.
+
+        Timestamps are replaced by their *rank* in the sorted unique-timestamp
+        array, so the composite key ``node * (U + 1) + rank`` is exact int64
+        arithmetic — unlike a float ``node * offset + (ts - t_min)`` key, it
+        cannot lose a duplicate-timestamp boundary to rounding.  The key array
+        is sorted by construction (segments are node-ordered and time-sorted
+        within), making one global ``searchsorted`` equivalent to a per-segment
+        binary search.  Built lazily on first use; a concurrent first call from
+        two threads is a benign idempotent race.
+        """
+        cache = self._probe_cache
+        if cache is None:
+            unique_ts = np.unique(self.ts)
+            base = int(unique_ts.size) + 1
+            entry_node = np.repeat(np.arange(self.num_nodes, dtype=np.int64),
+                                   np.diff(self.indptr))
+            keys = entry_node * base + np.searchsorted(unique_ts, self.ts,
+                                                       side="left")
+            cache = self._probe_cache = (unique_ts, base, keys)
+        return cache
+
     def pivots(self, nodes: np.ndarray, times: np.ndarray) -> np.ndarray:
         """Vectorised :meth:`pivot` for a batch of (node, time) queries.
 
         This is the batched binary search at the heart of the GPU neighbor
-        finder; on the simulated device it is one call per query segment but
-        fully vectorised over offsets inside the segment.
+        finder and the fused prep backend: the per-query segment searches
+        collapse into one ``searchsorted`` over composite
+        ``(node, timestamp-rank)`` keys, exactly matching the scalar
+        :meth:`pivot` — including on duplicate timestamps, where the integer
+        rank keys are immune to the float-composite precision hazard.
         """
         nodes = np.asarray(nodes, dtype=np.int64)
         times = np.asarray(times, dtype=np.float64)
-        out = np.empty(nodes.shape[0], dtype=np.int64)
-        starts = self.indptr[nodes]
-        stops = self.indptr[nodes + 1]
-        # Per-query binary search; the segment array is shared and contiguous.
-        for i in range(nodes.shape[0]):
-            lo, hi = starts[i], stops[i]
-            out[i] = lo + np.searchsorted(self.ts[lo:hi], times[i], side="left")
-        return out
+        unique_ts, base, keys = self._probe_keys()
+        # rank_q = number of unique timestamps strictly below the query time;
+        # an entry with ts < t has rank < rank_q, so the first key >= the
+        # query key is exactly the scalar pivot.
+        rank_q = np.searchsorted(unique_ts, times, side="left")
+        return np.searchsorted(keys, nodes * base + rank_q,
+                               side="left").astype(np.int64)
 
     def check_invariants(self) -> None:
         """Raise AssertionError when any structural invariant is violated."""

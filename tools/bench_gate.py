@@ -15,7 +15,10 @@ a *gate* by diffing them against the committed baselines in
 * **determinism mismatch** — any payload object carrying a ``hash`` /
   ``replay_hash`` pair (the benchmarks' run-vs-replay digests) must have
   equal values, and when a baseline records the pair the fresh ``hash``
-  payload must still be self-consistent.
+  payload must still be self-consistent.  Contract pairs listed in
+  ``REQUIRED_HASH_PAIRS`` (the fig1 ``backend_equivalence`` /
+  ``prep_backend_equivalence`` pairs) must also be *present* in the fresh
+  artifact — a benchmark that silently stops emitting one fails hard.
 
 Enforcement: *timing* findings **fail** (exit 1) when
 ``REPRO_BENCH_SCALE >= 0.5`` or ``--strict`` is given, and are **warnings**
@@ -49,6 +52,15 @@ from typing import Dict, Iterator, List, Tuple
 
 THRESHOLD_DEFAULT = 0.25
 MIN_SECONDS_DEFAULT = 5e-3
+
+#: equivalence pairs that MUST be present in a fresh artifact.  The generic
+#: walker checks any ``hash``/``replay_hash`` pair it *finds*; this map makes
+#: silently dropping a contract pair (e.g. a refactor that stops emitting
+#: ``prep_backend_equivalence``) a hard failure instead of a silent pass.
+REQUIRED_HASH_PAIRS: Dict[str, Tuple[str, ...]] = {
+    "BENCH_fig1_breakdown_wikipedia.json": (
+        "backend_equivalence", "prep_backend_equivalence"),
+}
 
 
 def walk_numeric(payload, prefix: str = "") -> Iterator[Tuple[str, float]]:
@@ -115,11 +127,18 @@ def check_determinism(name: str, current: Dict, report: Report) -> None:
     so a mismatch is machine-independent evidence of a determinism break —
     it is enforced even at smoke scale, where only timings are warn-only.
     """
-    for path, run_hash, replay_hash in walk_hash_pairs(current.get("results", {})):
+    pairs = list(walk_hash_pairs(current.get("results", {})))
+    for path, run_hash, replay_hash in pairs:
         if run_hash != replay_hash:
             report.hard_finding(
                 f"{name}: determinism hash mismatch at '{path or '<root>'}': "
                 f"run={run_hash} replay={replay_hash}")
+    seen = {path for path, _, _ in pairs}
+    for required in REQUIRED_HASH_PAIRS.get(name, ()):
+        if required not in seen:
+            report.hard_finding(
+                f"{name}: required equivalence pair '{required}' missing "
+                "from the artifact — the benchmark must emit it")
 
 
 def compare_file(name: str, current: Dict, baseline: Dict, report: Report,
