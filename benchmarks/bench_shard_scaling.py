@@ -36,7 +36,8 @@ import time
 
 import pytest
 
-from repro.bench import bench_scale, emit_bench_json, quick_config
+from repro.bench import (attach_scaling_efficiency, bench_scale,
+                         emit_bench_json, quick_config)
 from repro.core import TaserTrainer
 from repro.distributed import ShardedTrainer
 
@@ -83,6 +84,12 @@ def test_shard_scaling(benchmark, wikipedia_graph):
     worker_counts = (1, 2, 4) if bench_scale() >= 0.5 else (1, 2)
 
     def experiment():
+        # Untimed warm-up: absorb one-time numpy/allocator costs before any
+        # cell is timed.  Without it the first timed cell (W=1, the scaling
+        # baseline) pays the process warm-up alone, which inflates its wall
+        # time and makes W=2 look superlinear (efficiency 1.4+ was recorded
+        # before this run; see docs/BENCHMARKS.md, "Warm-up ordering").
+        TaserTrainer(wikipedia_graph, config).train_epoch()
         results = {}
         for w in worker_counts:
             entry, trajectories = _run_sharded(wikipedia_graph, config, w, epochs)
@@ -125,13 +132,7 @@ def test_shard_scaling(benchmark, wikipedia_graph):
         entry["trained_events_per_second"] = trained_events / wall if wall \
             else float("inf")
         payload["workers"][str(w)] = entry
-    base_throughput = payload["workers"]["1"]["trained_events_per_second"]
-    for w in worker_counts:
-        entry = payload["workers"][str(w)]
-        speedup = (entry["trained_events_per_second"] / base_throughput
-                   if base_throughput else float("inf"))
-        entry["speedup_vs_w1"] = speedup
-        entry["efficiency"] = speedup / w
+    violations = attach_scaling_efficiency(payload["workers"])
 
     print("\nShard scaling (wikipedia, graphmixer baseline, thread pool)")
     for w in worker_counts:
@@ -146,6 +147,14 @@ def test_shard_scaling(benchmark, wikipedia_graph):
     # Epoch length is the min shard batch count — every step is a W-way barrier.
     for w in worker_counts:
         assert payload["workers"][str(w)]["global_steps_per_epoch"] >= 1
+    # Parallel speedup cannot beat W on real work: super-tolerance efficiency
+    # means the W=1 baseline was mis-measured.  Hard at scale >= 0.5 where
+    # timings are stable; warn-only at smoke scale.
+    if bench_scale() >= 0.5:
+        assert not violations, "; ".join(violations)
+    else:
+        for violation in violations:
+            print(f"  WARN (smoke-scale timing): {violation}")
 
     benchmark.extra_info["shard_scaling"] = payload
     emit_bench_json("shard_scaling", payload)

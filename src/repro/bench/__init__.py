@@ -3,7 +3,8 @@
 from .harness import (bench_scale, bench_epochs, bench_datasets, bench_engine,
                       bench_output_dir, emit_bench_json, engine_mode_comparison,
                       quick_config, variant_config, VARIANTS, run_variant,
-                      format_table, geometric_mean)
+                      format_table, geometric_mean, attach_scaling_efficiency,
+                      EFFICIENCY_TOLERANCE)
 from .breakdown import BreakdownRow, runtime_breakdown, system_configurations
 
 __all__ = [
@@ -20,6 +21,8 @@ __all__ = [
     "run_variant",
     "format_table",
     "geometric_mean",
+    "attach_scaling_efficiency",
+    "EFFICIENCY_TOLERANCE",
     "BreakdownRow",
     "runtime_breakdown",
     "system_configurations",

@@ -60,7 +60,17 @@ __all__ = [
     "run_variant",
     "format_table",
     "geometric_mean",
+    "attach_scaling_efficiency",
+    "EFFICIENCY_TOLERANCE",
 ]
+
+#: allowed slack on per-worker scaling efficiency before it is flagged as a
+#: measurement artifact.  Efficiency is ``speedup / W`` against the ``W=1``
+#: baseline; values meaningfully above 1.0 mean the baseline was mis-measured
+#: (e.g. it paid one-time process warm-up costs the other cells did not — the
+#: exact bug documented in docs/BENCHMARKS.md under "Warm-up ordering"), not
+#: that the hardware scaled superlinearly.
+EFFICIENCY_TOLERANCE = 0.15
 
 #: the four method rows of Table I: (adaptive_minibatch, adaptive_neighbor).
 VARIANTS: Dict[str, Tuple[bool, bool]] = {
@@ -227,6 +237,39 @@ def run_variant(dataset: str, variant: str, backbone: str, seed: int = 0,
     config = variant_config(variant, backbone, seed=seed, **overrides)
     trainer = TaserTrainer(graph, config)
     return trainer.fit(evaluate_val=False)
+
+
+def attach_scaling_efficiency(workers: Dict[str, Dict],
+                              tolerance: float = EFFICIENCY_TOLERANCE) -> List[str]:
+    """Fill in ``speedup_vs_w1`` / ``efficiency`` and sanity-check them.
+
+    ``workers`` maps the worker count (as a string, the JSON key) to a cell
+    dict carrying ``trained_events_per_second``; each cell gains its speedup
+    over the ``"1"`` cell and the per-worker efficiency ``speedup / W``.
+
+    Returns a list of human-readable violations for every cell whose
+    efficiency exceeds ``1.0 + tolerance``.  Parallel speedup cannot beat
+    ``W`` on real work, so super-tolerance efficiency is evidence that the
+    baseline cell was mis-measured (see ``EFFICIENCY_TOLERANCE``); callers
+    decide whether to assert (scaled benchmark runs) or warn (noisy smoke
+    runs).
+    """
+    if "1" not in workers:
+        raise ValueError("workers must contain the W=1 baseline cell '1'")
+    base = float(workers["1"]["trained_events_per_second"])
+    violations: List[str] = []
+    for key, entry in workers.items():
+        w = int(key)
+        throughput = float(entry["trained_events_per_second"])
+        speedup = throughput / base if base else float("inf")
+        entry["speedup_vs_w1"] = speedup
+        entry["efficiency"] = speedup / w
+        if entry["efficiency"] > 1.0 + tolerance:
+            violations.append(
+                f"W={w}: efficiency {entry['efficiency']:.2f} > "
+                f"{1.0 + tolerance:.2f} — the W=1 baseline is likely "
+                "mis-measured (missing warm-up?)")
+    return violations
 
 
 def geometric_mean(values: Iterable[float]) -> float:

@@ -11,7 +11,13 @@ Three entry points share the ``repro`` command:
   (``--workers 1`` is bitwise-identical to the default runner's trainer);
 * ``repro stream ...`` drives the online streaming loop: replay a dataset (or
   a synthetic drift scenario) as an event stream, ingest it incrementally and
-  report prequential test-then-train MRR plus ingestion/training throughput.
+  report prequential test-then-train MRR plus ingestion/training throughput;
+* ``repro serve ...`` answers link-prediction queries online: train an
+  in-memory model on the dataset's warm-up prefix, then micro-batch queries
+  replayed from the held-out suffix through a
+  :class:`~repro.serve.ServeEngine` and report latency percentiles, QPS,
+  batch occupancy and the embedding-cache hit rate (``--replay`` verifies the
+  bitwise run-vs-replay score-hash contract).
 
 Examples
 --------
@@ -26,6 +32,8 @@ Examples
     python -m repro stream --dataset wikipedia --chunk-size 500 \
         --window-events 2000 --batch-engine prefetch --json
     python -m repro stream --drift-phases 3 --max-chunks 20 --json
+    python -m repro serve --dataset wikipedia --max-batch 32 \
+        --staleness-events 500 --num-queries 2000 --replay --json
 """
 
 from __future__ import annotations
@@ -43,8 +51,9 @@ from .core.prep_backend import (PREP_BACKEND_ENV_VAR, available_prep_backends,
 from .tensor.backend import (BACKEND_ENV_VAR, available_backends,
                              resolve_backend_name)
 
-__all__ = ["build_parser", "build_stream_parser", "build_train_parser", "main",
-           "run", "run_stream", "run_train"]
+__all__ = ["build_parser", "build_serve_parser", "build_stream_parser",
+           "build_train_parser", "main", "run", "run_serve", "run_stream",
+           "run_train"]
 
 VARIANT_FLAGS = {
     "baseline": (False, False),
@@ -63,6 +72,29 @@ def _positive_int(text: str) -> int:
         raise argparse.ArgumentTypeError(f"expected an integer, got {text!r}")
     if value < 1:
         raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+    return value
+
+
+def _non_negative_int(text: str) -> int:
+    """Argparse type: like :func:`_positive_int` but 0 is allowed (used by
+    bounds where 0 is a meaningful 'exact only' / 'disabled' setting)."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"expected an integer, got {text!r}")
+    if value < 0:
+        raise argparse.ArgumentTypeError(f"must be >= 0, got {value}")
+    return value
+
+
+def _non_negative_float(text: str) -> float:
+    """Argparse type: a float >= 0, rejected at parse time otherwise."""
+    try:
+        value = float(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"expected a number, got {text!r}")
+    if value < 0:
+        raise argparse.ArgumentTypeError(f"must be >= 0, got {value}")
     return value
 
 
@@ -186,7 +218,10 @@ def build_parser() -> argparse.ArgumentParser:
                "training (event-log shards, gradient averaging at batch "
                "barriers); 'repro stream ...' runs the online streaming loop "
                "(incremental ingestion + prequential test-then-train "
-               "evaluation); see 'repro train --help' / 'repro stream --help'.")
+               "evaluation); 'repro serve ...' answers link-prediction "
+               "queries online through the micro-batched serving engine; see "
+               "'repro train --help' / 'repro stream --help' / "
+               "'repro serve --help'.")
     _add_training_cell_args(
         parser, variant_default="taser",
         engine_help="mini-batch engine: synchronous, background prefetching, "
@@ -451,12 +486,201 @@ def _stream_main(argv: Sequence[str]) -> int:
     return 0
 
 
+def build_serve_parser() -> argparse.ArgumentParser:
+    """Parser of the ``repro serve`` subcommand (online query serving)."""
+    parser = argparse.ArgumentParser(
+        prog="repro serve",
+        description="Serve link-prediction queries online: train an "
+                    "in-memory model on the dataset's warm-up prefix, then "
+                    "micro-batch queries replayed from the held-out suffix "
+                    "through one prep pass + one forward per batch and "
+                    "report latency percentiles, QPS, batch occupancy and "
+                    "the embedding-cache hit rate")
+    parser.add_argument("--dataset", choices=DATASET_NAMES, default="wikipedia")
+    parser.add_argument("--scale", type=float, default=1.0,
+                        help="dataset size multiplier")
+    parser.add_argument("--backbone", choices=["tgat", "graphmixer"],
+                        default="graphmixer")
+    parser.add_argument("--variant", choices=sorted(VARIANT_FLAGS),
+                        default="baseline",
+                        help="training variant of the in-memory warm-up model")
+    parser.add_argument("--warmup-events", type=_positive_int, default=None,
+                        help="events trained before serving starts "
+                             "(default: 60%% of the dataset); the remainder "
+                             "is replayed as the query stream")
+    parser.add_argument("--warmup-epochs", type=_positive_int, default=1,
+                        help="training epochs over the warm-up prefix")
+    parser.add_argument("--num-queries", type=_positive_int, default=1000,
+                        help="queries replayed from the held-out suffix")
+    parser.add_argument("--max-batch", type=_positive_int, default=32,
+                        help="micro-batch size: one prep pass + one model "
+                             "forward serves up to this many queries (>= 1)")
+    parser.add_argument("--queue-depth", type=_positive_int, default=128,
+                        help="admission bound on pending queries (>= 1)")
+    parser.add_argument("--admission", choices=["wait", "shed"], default="wait",
+                        help="full-queue policy: 'wait' drains synchronously "
+                             "(backpressure), 'shed' rejects the overflow")
+    parser.add_argument("--staleness-events", type=_non_negative_int,
+                        default=None,
+                        help="embedding-cache event-count staleness bound "
+                             "(>= 0; default: unbounded)")
+    parser.add_argument("--staleness-time", type=_non_negative_float,
+                        default=None,
+                        help="embedding-cache |query_t - computed_t| bound "
+                             "(>= 0; default: unbounded)")
+    parser.add_argument("--cache-nodes", type=_non_negative_int, default=None,
+                        help="embedding-cache capacity in nodes (0 disables; "
+                             "default: a quarter of the node universe)")
+    parser.add_argument("--replay", action="store_true",
+                        help="serve the stream twice through fresh engines "
+                             "and verify the bitwise score-hash contract")
+    parser.add_argument("--hidden-dim", type=int, default=32)
+    parser.add_argument("--time-dim", type=int, default=16)
+    parser.add_argument("--num-neighbors", type=int, default=5)
+    parser.add_argument("--num-candidates", type=int, default=10)
+    parser.add_argument("--batch-size", type=int, default=200)
+    parser.add_argument("--max-batches-per-epoch", type=int, default=None)
+    parser.add_argument("--finder", choices=["gpu", "original", "tgl"],
+                        default="gpu")
+    parser.add_argument("--backend", type=_backend_name, default=None,
+                        help="array backend of the serving forward pass "
+                             f"(default: ${BACKEND_ENV_VAR} then 'reference')")
+    parser.add_argument("--prep-backend", type=_prep_backend_name, default=None,
+                        help="prep backend of the query-batch preparation "
+                             f"(default: ${PREP_BACKEND_ENV_VAR} then "
+                             "'reference')")
+    parser.add_argument("--cache-ratio", type=float, default=0.2)
+    parser.add_argument("--lr", type=float, default=2e-3)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--json", action="store_true",
+                        help="print the result as a single JSON object only")
+    return parser
+
+
+def run_serve(args: argparse.Namespace) -> dict:
+    """Execute one ``repro serve`` invocation and return its summary dict."""
+    import numpy as np
+
+    from .serve import LinkQuery, ServeEngine, scores_hash
+
+    adaptive_minibatch, adaptive_neighbor = VARIANT_FLAGS[args.variant]
+    graph = load_dataset(args.dataset, scale=args.scale, seed=args.seed)
+    config = TaserConfig(
+        backbone=args.backbone, adaptive_minibatch=adaptive_minibatch,
+        adaptive_neighbor=adaptive_neighbor,
+        hidden_dim=args.hidden_dim, time_dim=args.time_dim,
+        num_neighbors=args.num_neighbors, num_candidates=args.num_candidates,
+        finder=args.finder, cache_ratio=args.cache_ratio,
+        array_backend=args.backend, prep_backend=args.prep_backend,
+        batch_size=args.batch_size, epochs=args.warmup_epochs,
+        max_batches_per_epoch=args.max_batches_per_epoch,
+        lr=args.lr, seed=args.seed,
+    )
+    warmup = args.warmup_events if args.warmup_events is not None \
+        else max(1, graph.num_edges * 3 // 5)
+    warmup = min(warmup, graph.num_edges - 1)
+    start = time.time()
+    g = graph if graph.is_chronological else graph.sort_by_time()
+    warm = g.select_events(np.arange(warmup))
+    trainer = TaserTrainer(warm, config)
+    for _ in range(args.warmup_epochs):
+        trainer.train_epoch()
+    train_seconds = time.time() - start
+
+    # Replay the held-out suffix as the query stream (positive links at
+    # their true timestamps), clipped to the warm node universe.
+    suffix = slice(warmup, min(warmup + args.num_queries, g.num_edges))
+    n = warm.num_nodes
+    queries = [LinkQuery(int(s) % n, int(d) % n, float(t))
+               for s, d, t in zip(g.src[suffix], g.dst[suffix], g.ts[suffix])]
+
+    def one_pass() -> tuple:
+        engine = ServeEngine.from_trainer(
+            trainer, max_batch=args.max_batch, queue_depth=args.queue_depth,
+            admission=args.admission, staleness_events=args.staleness_events,
+            staleness_time=args.staleness_time, cache_nodes=args.cache_nodes)
+        t0 = time.perf_counter()
+        results = engine.serve(queries)
+        return engine, results, time.perf_counter() - t0
+
+    engine, results, serve_seconds = one_pass()
+    run_hash = scores_hash(results)
+    replay_hash = None
+    if args.replay:
+        _, replay_results, _ = one_pass()
+        replay_hash = scores_hash(replay_results)
+    latencies = np.asarray([r.latency_seconds for r in results
+                            if r.status == "ok"], dtype=np.float64)
+    summary = {
+        "dataset": args.dataset,
+        "backbone": args.backbone,
+        "variant": args.variant,
+        "seed": args.seed,
+        "warmup_events": warmup,
+        "train_seconds": train_seconds,
+        "num_queries": len(queries),
+        "max_batch": args.max_batch,
+        "queue_depth": args.queue_depth,
+        "admission": args.admission,
+        "staleness_events": args.staleness_events,
+        "staleness_time": args.staleness_time,
+        "serve_seconds": serve_seconds,
+        "qps": len(queries) / serve_seconds if serve_seconds else 0.0,
+        "latency_p50_ms": (float(np.percentile(latencies, 50)) * 1e3
+                           if latencies.size else None),
+        "latency_p99_ms": (float(np.percentile(latencies, 99)) * 1e3
+                           if latencies.size else None),
+        "scores_hash": run_hash,
+        "replay_hash": replay_hash,
+        "replay_match": (replay_hash == run_hash) if args.replay else None,
+        "wall_clock_seconds": time.time() - start,
+    }
+    summary.update(engine.stats())
+    return summary
+
+
+def _serve_main(argv: Sequence[str]) -> int:
+    parser = build_serve_parser()
+    args = parser.parse_args(argv)
+    _validate_env_backend(parser, args)
+    summary = run_serve(args)
+    if args.json:
+        print(json.dumps(summary, indent=2, default=float))
+        return 0 if summary["replay_match"] in (True, None) else 1
+    print(f"serve {summary['dataset']} / {summary['backbone']} / "
+          f"{summary['variant']} (seed {summary['seed']})")
+    print(f"  queries        : {summary['num_queries']} "
+          f"(served {summary['served']}, shed {summary['shed']}, "
+          f"expired {summary['expired']}, invalid {summary['invalid']})")
+    print(f"  throughput     : {summary['qps']:.0f} queries/s "
+          f"(batch occupancy {summary['batch_occupancy']:.2f} "
+          f"of max {summary['max_batch']})")
+    p50, p99 = summary["latency_p50_ms"], summary["latency_p99_ms"]
+    print(f"  latency        : p50 "
+          f"{'n/a' if p50 is None else format(p50, '.2f')}ms, p99 "
+          f"{'n/a' if p99 is None else format(p99, '.2f')}ms")
+    print(f"  embed cache    : hit rate "
+          f"{summary['embedding_cache_hit_rate']:.2f} "
+          f"({summary['embedding_cache_entries']} entries, "
+          f"{summary['embedding_cache_evictions']} evictions)")
+    print(f"  backends       : array {summary['array_backend']}, "
+          f"prep {summary['prep_backend']}")
+    print(f"  scores hash    : {summary['scores_hash']}")
+    if summary["replay_match"] is not None:
+        verdict = "bitwise-identical" if summary["replay_match"] else "MISMATCH"
+        print(f"  replay         : {summary['replay_hash']} ({verdict})")
+    print(f"  wall clock     : {summary['wall_clock_seconds']:.1f}s")
+    return 0 if summary["replay_match"] in (True, None) else 1
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     argv = list(sys.argv[1:]) if argv is None else list(argv)
     if argv and argv[0] == "stream":
         return _stream_main(argv[1:])
     if argv and argv[0] == "train":
         return _train_main(argv[1:])
+    if argv and argv[0] == "serve":
+        return _serve_main(argv[1:])
     parser = build_parser()
     args = parser.parse_args(argv)
     _validate_env_backend(parser, args)

@@ -146,3 +146,46 @@ class TestBenchGate:
         assert bench_gate.main(["--current-dir", str(baselines),
                                 "--baseline-dir", str(baselines),
                                 "--strict"]) == 0
+
+
+class TestRequiredHashPairs:
+    """The contract pairs a benchmark may not silently stop emitting."""
+
+    def test_registry_covers_fig1_and_serve(self):
+        assert bench_gate.REQUIRED_HASH_PAIRS["BENCH_serve_latency.json"] \
+            == ("serve_determinism",)
+        assert set(bench_gate.REQUIRED_HASH_PAIRS[
+            "BENCH_fig1_breakdown_wikipedia.json"]) \
+            == {"backend_equivalence", "prep_backend_equivalence"}
+
+    def _serve_artifact(self, run_hash="abc", replay_hash="abc"):
+        return {
+            "benchmark": "serve_latency", "scale": 0.1, "engine_env": "sync",
+            "unix_time": 0.0,
+            "results": {
+                "serve_determinism": {"hash": run_hash,
+                                      "replay_hash": replay_hash},
+            },
+        }
+
+    def test_serve_pair_present_and_equal_passes(self, dirs):
+        current, baselines = dirs
+        baselines.mkdir(parents=True)
+        _write(current, self._serve_artifact(),
+               name="BENCH_serve_latency.json")
+        assert _gate(current, baselines) == 0
+
+    def test_serve_replay_mismatch_fails_at_every_scale(self, dirs):
+        current, baselines = dirs
+        baselines.mkdir(parents=True)
+        _write(current, self._serve_artifact(replay_hash="doctored"),
+               name="BENCH_serve_latency.json")
+        assert _gate(current, baselines) == 1          # even without --strict
+
+    def test_serve_pair_missing_fails_hard(self, dirs):
+        current, baselines = dirs
+        baselines.mkdir(parents=True)
+        artifact = self._serve_artifact()
+        del artifact["results"]["serve_determinism"]
+        _write(current, artifact, name="BENCH_serve_latency.json")
+        assert _gate(current, baselines) == 1

@@ -110,3 +110,49 @@ class TestBreakdown:
         assert fast.pp < slow.pp
         with pytest.raises(ValueError):
             runtime_breakdown(graph, config, "x", device_speedup=0.0)
+
+
+class TestScalingEfficiency:
+    """Regression tests for the shard-scaling efficiency sanity check.
+
+    BENCH_shard_scaling.json once recorded W=2 efficiency 1.44: the W=1
+    baseline was timed first without any warm-up, so it alone paid the
+    one-time numpy/allocator costs (see docs/BENCHMARKS.md, "Warm-up
+    ordering").  ``attach_scaling_efficiency`` now flags any per-worker
+    efficiency above 1.0 + tolerance as a mis-measured baseline.
+    """
+
+    def test_flags_superlinear_efficiency(self):
+        from repro.bench import attach_scaling_efficiency
+        workers = {"1": {"trained_events_per_second": 1000.0},
+                   "2": {"trained_events_per_second": 2880.0}}
+        violations = attach_scaling_efficiency(workers)
+        assert workers["2"]["efficiency"] == pytest.approx(1.44)
+        assert len(violations) == 1 and "W=2" in violations[0]
+        assert "warm-up" in violations[0]
+
+    def test_accepts_sane_scaling(self):
+        from repro.bench import attach_scaling_efficiency
+        workers = {"1": {"trained_events_per_second": 1000.0},
+                   "2": {"trained_events_per_second": 1900.0},
+                   "4": {"trained_events_per_second": 3000.0}}
+        assert attach_scaling_efficiency(workers) == []
+        assert workers["1"]["efficiency"] == pytest.approx(1.0)
+        assert workers["2"]["speedup_vs_w1"] == pytest.approx(1.9)
+        assert workers["4"]["efficiency"] == pytest.approx(0.75)
+
+    def test_tolerance_boundary(self):
+        from repro.bench import EFFICIENCY_TOLERANCE, attach_scaling_efficiency
+        at_edge = 2.0 * (1.0 + EFFICIENCY_TOLERANCE)
+        workers = {"1": {"trained_events_per_second": 1.0},
+                   "2": {"trained_events_per_second": at_edge}}
+        assert attach_scaling_efficiency(workers) == []
+        workers = {"1": {"trained_events_per_second": 1.0},
+                   "2": {"trained_events_per_second": at_edge * 1.01}}
+        assert len(attach_scaling_efficiency(workers)) == 1
+
+    def test_requires_w1_baseline(self):
+        from repro.bench import attach_scaling_efficiency
+        with pytest.raises(ValueError, match="W=1 baseline"):
+            attach_scaling_efficiency(
+                {"2": {"trained_events_per_second": 5.0}})

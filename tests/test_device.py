@@ -178,3 +178,134 @@ class TestFeatureStore:
         store.reset_stats()
         assert store.stats.requests == 0
         assert store.stats.simulated_seconds == 0.0
+
+
+class TestCacheGrowProperties:
+    """Hypothesis property tests: grow()/lookup()/lookup_unique() interplay.
+
+    ``grow`` used to be exercised only incidentally through the streaming
+    loop; these properties drive it directly, interleaved with lookups and
+    epoch boundaries, and assert the three cache contracts:
+
+    * **hit-rate accounting** matches a naive per-epoch hit/request model at
+      every epoch boundary;
+    * **eviction order is preserved** across grows — growing the universe
+      never evicts, reorders or adopts entries mid-epoch, and the
+      post-``end_epoch`` replacement decision is identical whether the
+      accesses arrived deduplicated or not;
+    * ``lookup`` and ``lookup_unique`` are **equivalent**: same hit masks,
+      same epoch counters, same frequencies, same replacement decisions.
+    """
+
+    @given(st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_property_interleaved_grow_lookup(self, data):
+        num_edges = data.draw(st.integers(8, 24), label="num_edges")
+        capacity = data.draw(st.integers(0, num_edges), label="capacity")
+        cache = DynamicFeatureCache(num_edges, capacity, seed=3)
+        twin = DynamicFeatureCache(num_edges, capacity, seed=3)
+
+        freq = np.zeros(num_edges, dtype=np.int64)
+        epoch_hits = epoch_requests = 0
+        history = []
+        for _ in range(data.draw(st.integers(2, 10), label="steps")):
+            op = data.draw(st.sampled_from(["lookup", "grow", "end_epoch"]))
+            if op == "lookup":
+                ids = np.asarray(
+                    data.draw(st.lists(st.integers(0, cache.num_edges - 1),
+                                       min_size=1, max_size=30)),
+                    dtype=np.int64)
+                expected = cache.cached[ids].copy()
+                hits = cache.lookup(ids)
+                uniq, inverse, counts = np.unique(ids, return_inverse=True,
+                                                  return_counts=True)
+                twin_hits = twin.lookup_unique(uniq, counts)
+                # lookup vs lookup_unique equivalence, per request position.
+                assert np.array_equal(hits, expected)
+                assert np.array_equal(hits, twin_hits[inverse])
+                freq += np.bincount(ids, minlength=freq.size)
+                epoch_hits += int(hits.sum())
+                epoch_requests += int(ids.size)
+            elif op == "grow":
+                extra = data.draw(st.integers(1, 8), label="extra")
+                raise_cap = data.draw(st.booleans(), label="raise_cap")
+                new_edges = cache.num_edges + extra
+                new_cap = min(new_edges,
+                              cache.capacity + (extra if raise_cap else 0))
+                before = cache.cached_ids()
+                cache.grow(new_edges, capacity=new_cap)
+                twin.grow(new_edges, capacity=new_cap)
+                # Growing never evicts, reorders or adopts entries mid-epoch.
+                assert np.array_equal(cache.cached_ids(), before)
+                assert cache.num_edges == new_edges
+                assert cache.frequency.shape == (new_edges,)
+                freq = np.concatenate(
+                    [freq, np.zeros(extra, dtype=np.int64)])
+            else:
+                cache.end_epoch()
+                twin.end_epoch()
+                rate = epoch_hits / epoch_requests if epoch_requests else 0.0
+                history.append(rate)
+                epoch_hits = epoch_requests = 0
+                freq[:] = 0  # Algorithm 3 resets Q at every epoch boundary
+                # Same replacement decision from dedup'd and plain accesses.
+                assert np.array_equal(cache.cached_ids(), twin.cached_ids())
+                assert cache.replacement_count == twin.replacement_count
+
+        # Frequencies and epoch accounting match the naive model exactly.
+        assert np.array_equal(cache.frequency, freq)
+        assert np.array_equal(twin.frequency, freq)
+        assert cache._epoch_hits == twin._epoch_hits == epoch_hits
+        assert cache._epoch_requests == twin._epoch_requests == epoch_requests
+        assert cache.hit_rate_history == pytest.approx(history)
+        assert twin.hit_rate_history == pytest.approx(history)
+        assert cache.cached.sum() <= cache.capacity
+
+    @given(st.data())
+    @settings(max_examples=30, deadline=None)
+    def test_property_grow_rejections_leave_state_intact(self, data):
+        num_edges = data.draw(st.integers(4, 16))
+        capacity = data.draw(st.integers(1, num_edges))
+        cache = DynamicFeatureCache(num_edges, capacity, seed=1)
+        cache.lookup(np.arange(num_edges, dtype=np.int64))
+        before = (cache.num_edges, cache.capacity, cache.cached.copy(),
+                  cache.frequency.copy())
+        # Shrinking either dimension (or capacity > universe) is rejected
+        # and must leave the cache fully consistent (validate-then-mutate).
+        with pytest.raises(ValueError):
+            cache.grow(num_edges - 1)
+        with pytest.raises(ValueError):
+            cache.grow(num_edges, capacity=capacity - 1)
+        with pytest.raises(ValueError):
+            cache.grow(num_edges + 2, capacity=num_edges + 3)
+        assert cache.num_edges == before[0]
+        assert cache.capacity == before[1]
+        assert np.array_equal(cache.cached, before[2])
+        assert np.array_equal(cache.frequency, before[3])
+
+    @given(st.data())
+    @settings(max_examples=30, deadline=None)
+    def test_property_oracle_grow_then_preload(self, data):
+        num_edges = data.draw(st.integers(4, 16))
+        capacity = data.draw(st.integers(1, num_edges))
+        cache = OracleCache(num_edges, capacity)
+        extra = data.draw(st.integers(1, 8))
+        cache.grow(num_edges + extra)
+        # Preload over the *grown* universe: the clairvoyant top-k must be
+        # computable for ids beyond the original range.
+        upcoming = np.asarray(
+            data.draw(st.lists(st.integers(0, num_edges + extra - 1),
+                               min_size=1, max_size=40)),
+            dtype=np.int64)
+        cache.preload(upcoming)
+        cached = cache.cached_ids()
+        assert cached.size == min(capacity, num_edges + extra)
+        counts = np.bincount(upcoming, minlength=num_edges + extra)
+        uncached = np.setdiff1d(np.arange(num_edges + extra), cached)
+        if uncached.size:
+            # Clairvoyance: nothing outside the cache is hotter than the
+            # coldest cached id.
+            assert counts[cached].min() >= counts[uncached].max()
+        hits = cache.lookup(upcoming)
+        assert cache.current_hit_rate == pytest.approx(
+            hits.sum() / upcoming.size)

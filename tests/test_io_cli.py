@@ -231,3 +231,102 @@ class TestStreamCLI:
         payload = json.loads(capsys.readouterr().out)
         assert payload["drift_phases"] == 2
         assert payload["events_ingested"] == 140
+
+
+class TestServeCLI:
+    SERVE_ARGS = [
+        "serve", "--dataset", "wikipedia", "--scale", "0.05",
+        "--warmup-events", "200", "--warmup-epochs", "1",
+        "--max-batches-per-epoch", "2", "--batch-size", "64",
+        "--hidden-dim", "8", "--time-dim", "4",
+        "--num-neighbors", "3", "--num-candidates", "6",
+        "--num-queries", "60", "--max-batch", "8",
+    ]
+
+    def test_serve_json_output(self, capsys):
+        code = main(self.SERVE_ARGS + ["--json"])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["num_queries"] == 60
+        assert payload["served"] == 60
+        assert payload["qps"] > 0
+        assert payload["latency_p50_ms"] > 0
+        assert payload["latency_p99_ms"] >= payload["latency_p50_ms"]
+        assert 0.0 < payload["batch_occupancy"] <= 1.0
+        assert 0.0 <= payload["embedding_cache_hit_rate"] <= 1.0
+        assert len(payload["scores_hash"]) == 16
+        assert payload["replay_hash"] is None
+
+    def test_serve_text_output(self, capsys):
+        assert main(self.SERVE_ARGS) == 0
+        out = capsys.readouterr().out
+        assert "throughput" in out
+        assert "latency" in out
+        assert "embed cache" in out
+
+    def test_serve_replay_bitwise(self, capsys):
+        code = main(self.SERVE_ARGS + ["--replay", "--json"])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["replay_hash"] == payload["scores_hash"]
+        assert payload["replay_match"] is True
+
+    def test_serve_rejects_bad_depth_and_batch(self, capsys):
+        """--queue-depth / --max-batch fail at parse time, actionably."""
+        with pytest.raises(SystemExit):
+            main(self.SERVE_ARGS + ["--queue-depth", "0"])
+        assert "must be >= 1" in capsys.readouterr().err
+        with pytest.raises(SystemExit):
+            main(self.SERVE_ARGS + ["--max-batch", "0"])
+        assert "must be >= 1" in capsys.readouterr().err
+        with pytest.raises(SystemExit):
+            main(self.SERVE_ARGS + ["--max-batch", "many"])
+        assert "expected an integer" in capsys.readouterr().err
+        with pytest.raises(SystemExit):
+            main(self.SERVE_ARGS + ["--staleness-events", "-1"])
+        assert "must be >= 0" in capsys.readouterr().err
+        with pytest.raises(SystemExit):
+            main(self.SERVE_ARGS + ["--staleness-time", "-0.5"])
+        assert "must be >= 0" in capsys.readouterr().err
+
+    def test_serve_rejects_unknown_backends_at_parse_time(self, capsys):
+        """Unknown --backend / --prep-backend list the registered names."""
+        with pytest.raises(SystemExit):
+            main(self.SERVE_ARGS + ["--backend", "cuda"])
+        err = capsys.readouterr().err
+        assert "registered backends" in err and "reference" in err
+        with pytest.raises(SystemExit):
+            main(self.SERVE_ARGS + ["--prep-backend", "warp"])
+        err = capsys.readouterr().err
+        assert "registered backends" in err and "fused" in err
+
+    def test_serve_env_backend_validated_not_breaking_help(self, monkeypatch,
+                                                           capsys):
+        """A stale REPRO_BACKEND is a parse-time error for a run, but --help
+        must still work (the train/stream contract)."""
+        monkeypatch.setenv("REPRO_BACKEND", "bogus")
+        with pytest.raises(SystemExit) as exc:
+            main(self.SERVE_ARGS + ["--json"])
+        assert exc.value.code == 2
+        assert "registered backends" in capsys.readouterr().err
+        with pytest.raises(SystemExit) as exc:
+            main(["serve", "--help"])
+        assert exc.value.code == 0
+        assert "--max-batch" in capsys.readouterr().out
+        # stale REPRO_PREP_BACKEND behaves the same way
+        monkeypatch.delenv("REPRO_BACKEND")
+        monkeypatch.setenv("REPRO_PREP_BACKEND", "nope")
+        with pytest.raises(SystemExit) as exc:
+            main(self.SERVE_ARGS + ["--json"])
+        assert exc.value.code == 2
+        with pytest.raises(SystemExit) as exc:
+            main(["serve", "--help"])
+        assert exc.value.code == 0
+        capsys.readouterr()
+
+    def test_serve_explicit_backend_beats_stale_env(self, monkeypatch, capsys):
+        monkeypatch.setenv("REPRO_BACKEND", "bogus")
+        code = main(self.SERVE_ARGS + ["--backend", "reference", "--json"])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["array_backend"] == "reference"

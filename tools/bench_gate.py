@@ -60,6 +60,7 @@ MIN_SECONDS_DEFAULT = 5e-3
 REQUIRED_HASH_PAIRS: Dict[str, Tuple[str, ...]] = {
     "BENCH_fig1_breakdown_wikipedia.json": (
         "backend_equivalence", "prep_backend_equivalence"),
+    "BENCH_serve_latency.json": ("serve_determinism",),
 }
 
 
