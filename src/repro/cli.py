@@ -48,6 +48,8 @@ from .core import TaserConfig, TaserTrainer
 from .graph import DATASET_NAMES, load_dataset
 from .core.prep_backend import (PREP_BACKEND_ENV_VAR, available_prep_backends,
                                 resolve_prep_backend_name)
+from .device.precision import (PRECISION_ENV_VAR, available_precisions,
+                               resolve_precision_name)
 from .tensor.backend import (BACKEND_ENV_VAR, available_backends,
                              resolve_backend_name)
 
@@ -118,28 +120,62 @@ def _prep_backend_name(text: str) -> str:
     return text
 
 
-def _validate_env_backend(parser: argparse.ArgumentParser,
-                          args: argparse.Namespace) -> None:
-    """Reject bad ``REPRO_BACKEND`` / ``REPRO_PREP_BACKEND`` values at parse
-    time.
+def _precision_name(text: str) -> str:
+    """Argparse type: reject unknown precision tiers at parse time with the
+    registered-tier list (mirrors :func:`_backend_name`)."""
+    if text not in available_precisions():
+        raise argparse.ArgumentTypeError(
+            f"unknown precision tier {text!r}: registered tiers are "
+            f"{', '.join(available_precisions())}")
+    return text
 
-    Without ``--backend`` / ``--prep-backend``, the config resolves the
-    backends from the environment; validating here surfaces a typo as a
-    normal usage error (with the registered-backend list) instead of a
-    traceback mid-run.  Runs *after* ``parse_args`` and only when no
-    explicit flag was given: an explicit flag wins over the environment,
-    and ``--help`` must keep working regardless of a stale environment.
+
+def _add_runtime_args(parser: argparse.ArgumentParser) -> None:
+    """The runtime-selection flags shared by every subcommand — one
+    definition for ``--backend``/``--prep-backend``/``--precision``, so the
+    ``train``/``stream``/``serve`` parsers cannot drift.  Pair with
+    :func:`_validate_runtime_env` after ``parse_args``."""
+    parser.add_argument("--backend", type=_backend_name, default=None,
+                        help="array backend of the propagation hot path: "
+                             "'reference' (plain numpy) or 'fused' (buffer-"
+                             "reusing kernels, bitwise-identical results); "
+                             f"default resolves ${BACKEND_ENV_VAR} then "
+                             "'reference'")
+    parser.add_argument("--prep-backend", type=_prep_backend_name, default=None,
+                        help="prep backend of the batch-preparation hot path: "
+                             "'reference' (per-seed neighbor probes) or "
+                             "'fused' (batched composite-key T-CSR probing, "
+                             "bitwise-identical batches); default resolves "
+                             f"${PREP_BACKEND_ENV_VAR} then 'reference'")
+    parser.add_argument("--precision", type=_precision_name, default=None,
+                        help="feature-store storage tier: 'fp32' (full width, "
+                             "bitwise-identical to a build without tiers), "
+                             "'fp16' or 'int8' (per-feature affine "
+                             "quantization + compressed hot/warm/cold "
+                             "caches); default resolves "
+                             f"${PRECISION_ENV_VAR} then 'fp32'")
+
+
+def _validate_runtime_env(parser: argparse.ArgumentParser,
+                          args: argparse.Namespace) -> None:
+    """Reject bad ``REPRO_BACKEND`` / ``REPRO_PREP_BACKEND`` /
+    ``REPRO_PRECISION`` values at parse time.
+
+    Without the explicit flag, the config resolves each runtime dimension
+    from the environment; validating here surfaces a typo as a normal usage
+    error (with the registered-name list) instead of a traceback mid-run.
+    Runs *after* ``parse_args`` and only when no explicit flag was given: an
+    explicit flag wins over the environment, and ``--help`` must keep
+    working regardless of a stale environment.
     """
-    if getattr(args, "backend", None) is None:
-        try:
-            resolve_backend_name(None)
-        except ValueError as exc:
-            parser.error(str(exc))
-    if getattr(args, "prep_backend", None) is None:
-        try:
-            resolve_prep_backend_name(None)
-        except ValueError as exc:
-            parser.error(str(exc))
+    for flag, resolver in (("backend", resolve_backend_name),
+                           ("prep_backend", resolve_prep_backend_name),
+                           ("precision", resolve_precision_name)):
+        if getattr(args, flag, None) is None:
+            try:
+                resolver(None)
+            except ValueError as exc:
+                parser.error(str(exc))
 
 
 def _add_training_cell_args(parser: argparse.ArgumentParser,
@@ -168,18 +204,7 @@ def _add_training_cell_args(parser: argparse.ArgumentParser,
                         default="sync", help=engine_help)
     parser.add_argument("--prefetch-depth", type=_positive_int, default=2,
                         help="bounded-queue depth of the prefetch engine (>= 1)")
-    parser.add_argument("--backend", type=_backend_name, default=None,
-                        help="array backend of the propagation hot path: "
-                             "'reference' (plain numpy) or 'fused' (buffer-"
-                             "reusing kernels, bitwise-identical results); "
-                             f"default resolves ${BACKEND_ENV_VAR} then "
-                             "'reference'")
-    parser.add_argument("--prep-backend", type=_prep_backend_name, default=None,
-                        help="prep backend of the batch-preparation hot path: "
-                             "'reference' (per-seed neighbor probes) or "
-                             "'fused' (batched composite-key T-CSR probing, "
-                             "bitwise-identical batches); default resolves "
-                             f"${PREP_BACKEND_ENV_VAR} then 'reference'")
+    _add_runtime_args(parser)
     parser.add_argument("--decoder", choices=["linear", "gat", "gatv2", "transformer"],
                         default="linear")
     parser.add_argument("--cache-ratio", type=float, default=0.2)
@@ -203,6 +228,7 @@ def _taser_config(args: argparse.Namespace) -> TaserConfig:
         finder=args.finder, decoder=args.decoder, cache_ratio=args.cache_ratio,
         batch_engine=args.batch_engine, prefetch_depth=args.prefetch_depth,
         array_backend=args.backend, prep_backend=args.prep_backend,
+        precision=args.precision,
         batch_size=args.batch_size, epochs=args.epochs,
         max_batches_per_epoch=args.max_batches_per_epoch,
         lr=args.lr, eval_negatives=args.eval_negatives,
@@ -246,6 +272,7 @@ def run(args: argparse.Namespace) -> dict:
         "batch_engine_effective": trainer.engine.effective_mode,
         "array_backend": trainer.array_backend.name,
         "prep_backend": trainer.prep.name,
+        "precision": trainer.precision.tier,
         "workspace_allocations_saved": sum(
             s.workspace_allocations_saved for s in result.history),
         "val_mrr": result.val_mrr,
@@ -323,7 +350,7 @@ def run_train(args: argparse.Namespace) -> dict:
 def _train_main(argv: Sequence[str]) -> int:
     parser = build_train_parser()
     args = parser.parse_args(argv)
-    _validate_env_backend(parser, args)
+    _validate_runtime_env(parser, args)
     summary = run_train(args)
     if args.json:
         print(json.dumps(summary, indent=2, default=float))
@@ -393,13 +420,7 @@ def build_stream_parser() -> argparse.ArgumentParser:
                              "is invalidated by every ingested chunk)")
     parser.add_argument("--prefetch-depth", type=_positive_int, default=2,
                         help="bounded-queue depth of the prefetch engine (>= 1)")
-    parser.add_argument("--backend", type=_backend_name, default=None,
-                        help="array backend of the propagation hot path "
-                             f"(default: ${BACKEND_ENV_VAR} then 'reference')")
-    parser.add_argument("--prep-backend", type=_prep_backend_name, default=None,
-                        help="prep backend of the batch-preparation hot path "
-                             f"(default: ${PREP_BACKEND_ENV_VAR} then "
-                             "'reference')")
+    _add_runtime_args(parser)
     parser.add_argument("--cache-ratio", type=float, default=0.2)
     parser.add_argument("--lr", type=float, default=2e-3)
     parser.add_argument("--eval-negatives", type=int, default=49)
@@ -428,7 +449,7 @@ def run_stream(args: argparse.Namespace) -> dict:
         num_neighbors=args.num_neighbors, num_candidates=args.num_candidates,
         batch_size=args.batch_size, batch_engine=args.batch_engine,
         prefetch_depth=args.prefetch_depth, array_backend=args.backend,
-        prep_backend=args.prep_backend,
+        prep_backend=args.prep_backend, precision=args.precision,
         cache_ratio=args.cache_ratio,
         lr=args.lr, eval_negatives=args.eval_negatives, seed=args.seed,
     )
@@ -462,7 +483,7 @@ def run_stream(args: argparse.Namespace) -> dict:
 def _stream_main(argv: Sequence[str]) -> int:
     parser = build_stream_parser()
     args = parser.parse_args(argv)
-    _validate_env_backend(parser, args)
+    _validate_runtime_env(parser, args)
     summary = run_stream(args)
     if args.json:
         print(json.dumps(summary, indent=2, default=float))
@@ -542,13 +563,7 @@ def build_serve_parser() -> argparse.ArgumentParser:
     parser.add_argument("--max-batches-per-epoch", type=int, default=None)
     parser.add_argument("--finder", choices=["gpu", "original", "tgl"],
                         default="gpu")
-    parser.add_argument("--backend", type=_backend_name, default=None,
-                        help="array backend of the serving forward pass "
-                             f"(default: ${BACKEND_ENV_VAR} then 'reference')")
-    parser.add_argument("--prep-backend", type=_prep_backend_name, default=None,
-                        help="prep backend of the query-batch preparation "
-                             f"(default: ${PREP_BACKEND_ENV_VAR} then "
-                             "'reference')")
+    _add_runtime_args(parser)
     parser.add_argument("--cache-ratio", type=float, default=0.2)
     parser.add_argument("--lr", type=float, default=2e-3)
     parser.add_argument("--seed", type=int, default=0)
@@ -572,6 +587,7 @@ def run_serve(args: argparse.Namespace) -> dict:
         num_neighbors=args.num_neighbors, num_candidates=args.num_candidates,
         finder=args.finder, cache_ratio=args.cache_ratio,
         array_backend=args.backend, prep_backend=args.prep_backend,
+        precision=args.precision,
         batch_size=args.batch_size, epochs=args.warmup_epochs,
         max_batches_per_epoch=args.max_batches_per_epoch,
         lr=args.lr, seed=args.seed,
@@ -642,7 +658,7 @@ def run_serve(args: argparse.Namespace) -> dict:
 def _serve_main(argv: Sequence[str]) -> int:
     parser = build_serve_parser()
     args = parser.parse_args(argv)
-    _validate_env_backend(parser, args)
+    _validate_runtime_env(parser, args)
     summary = run_serve(args)
     if args.json:
         print(json.dumps(summary, indent=2, default=float))
@@ -664,7 +680,8 @@ def _serve_main(argv: Sequence[str]) -> int:
           f"({summary['embedding_cache_entries']} entries, "
           f"{summary['embedding_cache_evictions']} evictions)")
     print(f"  backends       : array {summary['array_backend']}, "
-          f"prep {summary['prep_backend']}")
+          f"prep {summary['prep_backend']}, "
+          f"precision {summary['precision']}")
     print(f"  scores hash    : {summary['scores_hash']}")
     if summary["replay_match"] is not None:
         verdict = "bitwise-identical" if summary["replay_match"] else "MISMATCH"
@@ -683,7 +700,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _serve_main(argv[1:])
     parser = build_parser()
     args = parser.parse_args(argv)
-    _validate_env_backend(parser, args)
+    _validate_runtime_env(parser, args)
     summary = run(args)
     if args.json:
         print(json.dumps(summary, indent=2, default=float))
@@ -699,6 +716,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     print(f"  array backend  : {summary['array_backend']} "
           f"({summary['workspace_allocations_saved']} allocations saved)")
     print(f"  prep backend   : {summary['prep_backend']}")
+    print(f"  precision      : {summary['precision']}")
     breakdown = ", ".join(f"{k}={v:.2f}s"
                           for k, v in sorted(summary["runtime_breakdown_seconds"].items()))
     print(f"  runtime        : {breakdown}")

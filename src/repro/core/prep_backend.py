@@ -51,12 +51,12 @@ Extension recipe: subclass :class:`~repro.core.prep.PrepPipeline`, set a
 
 from __future__ import annotations
 
-import os
-from typing import TYPE_CHECKING, Callable, Dict, Optional, Tuple
+from typing import TYPE_CHECKING, Callable, Optional, Tuple
 
 from ..sampling.fused_probe import BatchedProbeFinder
 from .pipeline import MiniBatchGenerator
 from .prep import PrepPipeline
+from .registry import Registry
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..eval.negative_sampling import NegativeSampler
@@ -110,7 +110,13 @@ class FusedPrepPipeline(PrepPipeline):
 # registry
 # ---------------------------------------------------------------------------
 
-_FACTORIES: Dict[str, Callable[..., PrepPipeline]] = {}
+#: shared name->factory store + flag > REPRO_PREP_BACKEND > default
+#: resolution (see :class:`repro.core.registry.Registry`).
+_REGISTRY: "Registry[PrepPipeline]" = Registry(
+    "prep backend", env_var=PREP_BACKEND_ENV_VAR,
+    default=DEFAULT_PREP_BACKEND,
+    hint="pick one via --prep-backend, TaserConfig.prep_backend or "
+         f"{PREP_BACKEND_ENV_VAR}")
 
 
 def register_prep_backend(name: str,
@@ -121,12 +127,12 @@ def register_prep_backend(name: str,
     signature: ``factory(generator, negative_sampler, graph=, split=,
     selector=)``.
     """
-    _FACTORIES[name] = factory
+    _REGISTRY.register(name, factory)
 
 
 def available_prep_backends() -> Tuple[str, ...]:
     """Registered prep-backend names, sorted."""
-    return tuple(sorted(_FACTORIES))
+    return _REGISTRY.names()
 
 
 def resolve_prep_backend_name(name: Optional[str] = None) -> str:
@@ -135,19 +141,7 @@ def resolve_prep_backend_name(name: Optional[str] = None) -> str:
     Raises ``ValueError`` with the registered names when the resolved name is
     unknown, so config/CLI validation can surface an actionable message.
     """
-    source = "requested"
-    if name is None:
-        name = os.environ.get(PREP_BACKEND_ENV_VAR, "").strip()
-        source = f"{PREP_BACKEND_ENV_VAR} environment variable"
-        if not name:
-            return DEFAULT_PREP_BACKEND
-    if name not in _FACTORIES:
-        raise ValueError(
-            f"unknown prep backend {name!r} ({source}): registered backends "
-            f"are {', '.join(available_prep_backends())}; pick one via "
-            f"--prep-backend, TaserConfig.prep_backend or "
-            f"{PREP_BACKEND_ENV_VAR}")
-    return name
+    return _REGISTRY.resolve(name)
 
 
 def make_prep_pipeline(name: Optional[str], generator: MiniBatchGenerator,
@@ -156,7 +150,7 @@ def make_prep_pipeline(name: Optional[str], generator: MiniBatchGenerator,
                        split: Optional["TemporalSplit"] = None,
                        selector=None) -> PrepPipeline:
     """Build the named prep backend's pipeline over the given components."""
-    factory = _FACTORIES[resolve_prep_backend_name(name)]
+    factory = _REGISTRY.get(name)
     return factory(generator, negative_sampler, graph=graph, split=split,
                    selector=selector)
 

@@ -20,7 +20,7 @@ from typing import Dict, List, Optional
 
 import numpy as np
 
-from ..device.cache import DynamicFeatureCache
+from ..device.cache import DynamicFeatureCache, TieredFeatureCache
 from ..device.costmodel import TransferCostModel
 from ..device.memory import FeatureStore
 from ..eval.evaluator import LinkPredictionEvaluator
@@ -69,6 +69,8 @@ class EpochStats:
     array_backend: str = "reference"
     #: prep backend that prepared this epoch's batches.
     prep_backend: str = "reference"
+    #: feature-store precision tier the epoch's gathers decoded from.
+    precision: str = "fp32"
     #: temporary allocations the backend's workspace arena saved this epoch
     #: (buffer checkouts served from a free list instead of np.empty);
     #: 0 under the reference backend, which has no arena.
@@ -154,13 +156,28 @@ class TaserTrainer:
         self.tcsr = self._build_tcsr(self.graph)
         self.finder = make_finder(cfg.finder, self.tcsr,
                                   policy=cfg.resolved_finder_policy, seed=cfg.seed)
+        # Precision policy: the exact fp32 tier keeps today's cache/store
+        # bitwise; a lossy tier stores features quantized and turns the
+        # cache's byte budget into compressed residency tiers.
+        from ..device.precision import PrecisionPolicy
+        self.precision = PrecisionPolicy(tier=cfg.resolved_precision,
+                                         mrr_budget=cfg.precision_mrr_budget)
         self.cache = None
         if self.graph.edge_feat is not None and cfg.cache_ratio > 0:
             capacity = self._cache_capacity(self.graph)
-            self.cache = DynamicFeatureCache(self.graph.num_edges, capacity,
-                                             epsilon=cfg.cache_epsilon, seed=cfg.seed)
+            if self.precision.is_exact:
+                self.cache = DynamicFeatureCache(
+                    self.graph.num_edges, capacity,
+                    epsilon=cfg.cache_epsilon, seed=cfg.seed)
+            else:
+                self.cache = TieredFeatureCache(
+                    self.graph.num_edges, capacity, self.graph.edge_dim,
+                    hot_fraction=self.precision.hot_fraction,
+                    warm_fraction=self.precision.warm_fraction,
+                    epsilon=cfg.cache_epsilon, seed=cfg.seed)
         self.feature_store = FeatureStore(self.graph, edge_cache=self.cache,
-                                          cost_model=TransferCostModel())
+                                          cost_model=TransferCostModel(),
+                                          precision=self.precision)
 
         # --- models -------------------------------------------------------------------
         self.backbone = make_backbone(cfg.backbone, self.graph.node_dim,
@@ -380,6 +397,7 @@ class TaserTrainer:
                            dedup_ratio=float(slice_stats.dedup_ratio),
                            array_backend=self.array_backend.name,
                            prep_backend=self.prep.name,
+                           precision=self.precision.tier,
                            workspace_allocations_saved=int(
                                ws_end["workspace_reused"] - ws_start["workspace_reused"]),
                            workspace_bytes_saved=int(

@@ -5,9 +5,10 @@ contract, and :mod:`repro.serve.cache` for the bounded-staleness
 node-embedding cache.
 """
 
-from .cache import NodeEmbeddingCache
+from .cache import NodeEmbeddingCache, TieredNodeEmbeddingCache
 from .engine import (LinkQuery, ServeEngine, ServeResult, ServeStats,
                      VirtualClock, scores_hash)
 
-__all__ = ["NodeEmbeddingCache", "LinkQuery", "ServeEngine", "ServeResult",
-           "ServeStats", "VirtualClock", "scores_hash"]
+__all__ = ["NodeEmbeddingCache", "TieredNodeEmbeddingCache", "LinkQuery",
+           "ServeEngine", "ServeResult", "ServeStats", "VirtualClock",
+           "scores_hash"]

@@ -52,6 +52,7 @@ from ..core.pipeline import MiniBatchGenerator
 from ..core.prep_backend import make_prep_pipeline, resolve_prep_backend_name
 from ..device.costmodel import TransferCostModel
 from ..device.memory import FeatureStore
+from ..device.precision import PrecisionPolicy, resolve_precision_name
 from ..graph.tcsr import StreamingTCSR
 from ..graph.temporal_graph import TemporalGraph
 from ..sampling import make_finder
@@ -59,7 +60,7 @@ from ..tensor import Tensor, no_grad
 from ..tensor import functional as F
 from ..tensor.backend import resolve_backend_name, set_backend
 from ..utils.timer import Timer
-from .cache import NodeEmbeddingCache
+from .cache import NodeEmbeddingCache, TieredNodeEmbeddingCache
 
 __all__ = ["LinkQuery", "ServeResult", "ServeStats", "VirtualClock",
            "ServeEngine", "scores_hash"]
@@ -182,6 +183,13 @@ class ServeEngine:
         :func:`~repro.core.prep_backend.make_prep_pipeline` /
         :func:`~repro.tensor.backend.set_backend`; ``None`` resolves the
         environment exactly like training does.
+    precision:
+        Feature-store precision tier (``None`` resolves ``REPRO_PRECISION``
+        then ``fp32``).  The exact ``fp32`` tier keeps today's store and
+        embedding cache bitwise; a lossy tier stores features quantized and
+        swaps the embedding cache for a
+        :class:`~repro.serve.cache.TieredNodeEmbeddingCache` whose
+        ``cache_nodes`` byte budget holds ~2.5x the rows.
     clock:
         Callable returning monotonically increasing seconds
         (default ``time.perf_counter``; inject :class:`VirtualClock` for
@@ -194,6 +202,7 @@ class ServeEngine:
                  finder: str = "gpu", finder_policy: str = "recent",
                  prep_backend: Optional[str] = None,
                  array_backend: Optional[str] = None,
+                 precision: Optional[str] = None,
                  max_batch: int = 32, queue_depth: int = 128,
                  admission: str = "wait",
                  staleness_events: Optional[int] = None,
@@ -227,18 +236,30 @@ class ServeEngine:
         self.finder_policy = finder_policy
         self.prep_backend_name = resolve_prep_backend_name(prep_backend)
         self.array_backend = set_backend(resolve_backend_name(array_backend))
+        self.precision = PrecisionPolicy(tier=resolve_precision_name(precision))
         self._workspace = self.array_backend.new_arena()
 
         capacity = cache_nodes if cache_nodes is not None \
             else max(1, self.graph.num_nodes // 4)
-        self.embedding_cache = NodeEmbeddingCache(
-            self.graph.num_nodes, capacity,
-            staleness_events=staleness_events, staleness_time=staleness_time)
+        if self.precision.is_exact:
+            self.embedding_cache = NodeEmbeddingCache(
+                self.graph.num_nodes, capacity,
+                staleness_events=staleness_events,
+                staleness_time=staleness_time)
+        else:
+            # Same VRAM byte budget, compressed residency tiers: ~2.5x rows.
+            self.embedding_cache = TieredNodeEmbeddingCache(
+                self.graph.num_nodes, capacity,
+                staleness_events=staleness_events,
+                staleness_time=staleness_time,
+                hot_fraction=self.precision.hot_fraction,
+                warm_fraction=self.precision.warm_fraction)
 
         self.timer = Timer()
         self.stcsr = StreamingTCSR.from_graph(self.graph)
         self.feature_store = FeatureStore(self.graph, edge_cache=None,
-                                          cost_model=TransferCostModel())
+                                          cost_model=TransferCostModel(),
+                                          precision=self.precision)
         self._refresh()
 
         self._pending: List[_Pending] = []
@@ -263,7 +284,8 @@ class ServeEngine:
                             else cfg.num_neighbors),
             finder=cfg.finder, finder_policy=cfg.resolved_finder_policy,
             prep_backend=cfg.resolved_prep_backend,
-            array_backend=cfg.resolved_array_backend, seed=cfg.seed)
+            array_backend=cfg.resolved_array_backend,
+            precision=cfg.resolved_precision, seed=cfg.seed)
         defaults.update(kwargs)
         return cls(trainer.graph, trainer.backbone, trainer.predictor,
                    **defaults)
@@ -484,6 +506,7 @@ class ServeEngine:
             "events_observed": self.events_observed,
             "prep_backend": self.prep_backend_name,
             "array_backend": self.array_backend.name,
+            "precision": self.precision.tier,
         }
 
 

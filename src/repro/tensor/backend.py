@@ -61,7 +61,6 @@ process pools re-install the backend in the child.
 from __future__ import annotations
 
 import contextlib
-import os
 import threading
 from typing import Callable, Dict, List, Optional, Tuple
 
@@ -803,7 +802,20 @@ class FusedBackend(ReferenceBackend):
 # registry
 # ---------------------------------------------------------------------------
 
-_FACTORIES: Dict[str, Callable[[], ArrayBackend]] = {}
+# Imported here, after the backend classes, so this module stays importable
+# even when ``repro.core``'s package init is what (indirectly) triggered our
+# own import: the registry submodule is a dependency-free leaf, and by this
+# point every class a partially-initialised importer could need is defined.
+from ..core.registry import Registry  # noqa: E402
+
+#: the shared name->factory store + flag > REPRO_BACKEND > default resolution
+#: (see :class:`repro.core.registry.Registry`).  Singleton instances and the
+#: process-global active backend stay here: they are array-backend semantics
+#: (warmed-up workspace arenas survive re-installs), not registry semantics.
+_REGISTRY: "Registry[ArrayBackend]" = Registry(
+    "array backend", env_var=BACKEND_ENV_VAR, default=DEFAULT_BACKEND,
+    hint="pick one via --backend, TaserConfig.array_backend or "
+         f"{BACKEND_ENV_VAR}")
 _INSTANCES: Dict[str, ArrayBackend] = {}
 _ACTIVE: Optional[ArrayBackend] = None
 
@@ -817,7 +829,7 @@ def register_backend(name: str, factory: Callable[[], ArrayBackend]) -> None:
     the stale instance forever.
     """
     global _ACTIVE
-    _FACTORIES[name] = factory
+    _REGISTRY.register(name, factory)
     stale = _INSTANCES.pop(name, None)
     if stale is not None and _ACTIVE is stale:
         _ACTIVE = None
@@ -826,7 +838,7 @@ def register_backend(name: str, factory: Callable[[], ArrayBackend]) -> None:
 
 def available_backends() -> Tuple[str, ...]:
     """Registered backend names, sorted."""
-    return tuple(sorted(_FACTORIES))
+    return _REGISTRY.names()
 
 
 def resolve_backend_name(name: Optional[str] = None) -> str:
@@ -835,18 +847,7 @@ def resolve_backend_name(name: Optional[str] = None) -> str:
     Raises ``ValueError`` with the registered names when the resolved name is
     unknown, so config/CLI validation can surface an actionable message.
     """
-    source = "requested"
-    if name is None:
-        name = os.environ.get(BACKEND_ENV_VAR, "").strip()
-        source = f"{BACKEND_ENV_VAR} environment variable"
-        if not name:
-            return DEFAULT_BACKEND
-    if name not in _FACTORIES:
-        raise ValueError(
-            f"unknown array backend {name!r} ({source}): registered backends "
-            f"are {', '.join(available_backends())}; pick one via --backend, "
-            f"TaserConfig.array_backend or {BACKEND_ENV_VAR}")
-    return name
+    return _REGISTRY.resolve(name)
 
 
 def set_backend(name: str) -> ArrayBackend:
@@ -859,7 +860,7 @@ def set_backend(name: str) -> ArrayBackend:
     name = resolve_backend_name(name)
     instance = _INSTANCES.get(name)
     if instance is None:
-        instance = _INSTANCES[name] = _FACTORIES[name]()
+        instance = _INSTANCES[name] = _REGISTRY.get(name)()
     _ACTIVE = instance
     return instance
 

@@ -151,12 +151,14 @@ class TestBenchGate:
 class TestRequiredHashPairs:
     """The contract pairs a benchmark may not silently stop emitting."""
 
-    def test_registry_covers_fig1_and_serve(self):
+    def test_registry_covers_fig1_serve_and_precision(self):
         assert bench_gate.REQUIRED_HASH_PAIRS["BENCH_serve_latency.json"] \
             == ("serve_determinism",)
         assert set(bench_gate.REQUIRED_HASH_PAIRS[
             "BENCH_fig1_breakdown_wikipedia.json"]) \
             == {"backend_equivalence", "prep_backend_equivalence"}
+        assert set(bench_gate.REQUIRED_HASH_PAIRS["BENCH_precision.json"]) \
+            == {"precision_determinism", "fp32_equivalence"}
 
     def _serve_artifact(self, run_hash="abc", replay_hash="abc"):
         return {
@@ -188,4 +190,37 @@ class TestRequiredHashPairs:
         artifact = self._serve_artifact()
         del artifact["results"]["serve_determinism"]
         _write(current, artifact, name="BENCH_serve_latency.json")
+        assert _gate(current, baselines) == 1
+
+    def _precision_artifact(self, run_hash="abc", replay_hash="abc"):
+        return {
+            "benchmark": "precision", "scale": 0.1, "engine_env": "sync",
+            "unix_time": 0.0,
+            "results": {
+                "fp32_equivalence": {"hash": "eq", "replay_hash": "eq"},
+                "precision_determinism": {"hash": run_hash,
+                                          "replay_hash": replay_hash},
+            },
+        }
+
+    def test_precision_pairs_present_and_equal_pass(self, dirs):
+        current, baselines = dirs
+        baselines.mkdir(parents=True)
+        _write(current, self._precision_artifact(),
+               name="BENCH_precision.json")
+        assert _gate(current, baselines) == 0
+
+    def test_precision_replay_mismatch_fails_at_every_scale(self, dirs):
+        current, baselines = dirs
+        baselines.mkdir(parents=True)
+        _write(current, self._precision_artifact(replay_hash="doctored"),
+               name="BENCH_precision.json")
+        assert _gate(current, baselines) == 1          # even without --strict
+
+    def test_precision_pair_missing_fails_hard(self, dirs):
+        current, baselines = dirs
+        baselines.mkdir(parents=True)
+        artifact = self._precision_artifact()
+        del artifact["results"]["precision_determinism"]
+        _write(current, artifact, name="BENCH_precision.json")
         assert _gate(current, baselines) == 1

@@ -61,6 +61,7 @@ REQUIRED_HASH_PAIRS: Dict[str, Tuple[str, ...]] = {
     "BENCH_fig1_breakdown_wikipedia.json": (
         "backend_equivalence", "prep_backend_equivalence"),
     "BENCH_serve_latency.json": ("serve_determinism",),
+    "BENCH_precision.json": ("precision_determinism", "fp32_equivalence"),
 }
 
 
