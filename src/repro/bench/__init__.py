@@ -5,7 +5,8 @@ from .harness import (bench_scale, bench_epochs, bench_datasets, bench_engine,
                       quick_config, variant_config, VARIANTS, run_variant,
                       format_table, geometric_mean, attach_scaling_efficiency,
                       EFFICIENCY_TOLERANCE)
-from .breakdown import BreakdownRow, runtime_breakdown, system_configurations
+from .breakdown import (BreakdownRow, normalise_runtime, runtime_breakdown,
+                        system_configurations)
 
 __all__ = [
     "bench_scale",
@@ -24,6 +25,7 @@ __all__ = [
     "attach_scaling_efficiency",
     "EFFICIENCY_TOLERANCE",
     "BreakdownRow",
+    "normalise_runtime",
     "runtime_breakdown",
     "system_configurations",
 ]

@@ -154,6 +154,21 @@ def _add_runtime_args(parser: argparse.ArgumentParser) -> None:
                              "quantization + compressed hot/warm/cold "
                              "caches); default resolves "
                              f"${PRECISION_ENV_VAR} then 'fp32'")
+    parser.add_argument("--prep-pool-workers", type=int, default=None,
+                        metavar="N",
+                        help="prep-pool worker threads preparing batches "
+                             "ahead of training under the keyed-draw "
+                             "protocol (0 = inline, same protocol, the "
+                             "bitwise anchor; any N yields identical "
+                             "losses); default resolves $REPRO_PREP_POOL "
+                             "then off (legacy sequential engines)")
+    parser.add_argument("--prep-cache-mb", type=int, default=None,
+                        metavar="MB",
+                        help="byte budget (MiB) of the cross-epoch prep-plan "
+                             "cache; epoch 2+ reuses deterministic prep "
+                             "products instead of recomputing them "
+                             "(invalidated by graph ingest); default "
+                             "resolves $REPRO_PREP_CACHE_MB then 0 (off)")
 
 
 def _validate_runtime_env(parser: argparse.ArgumentParser,
@@ -229,6 +244,8 @@ def _taser_config(args: argparse.Namespace) -> TaserConfig:
         batch_engine=args.batch_engine, prefetch_depth=args.prefetch_depth,
         array_backend=args.backend, prep_backend=args.prep_backend,
         precision=args.precision,
+        prep_pool_workers=args.prep_pool_workers,
+        prep_cache_mb=args.prep_cache_mb,
         batch_size=args.batch_size, epochs=args.epochs,
         max_batches_per_epoch=args.max_batches_per_epoch,
         lr=args.lr, eval_negatives=args.eval_negatives,
@@ -450,6 +467,8 @@ def run_stream(args: argparse.Namespace) -> dict:
         batch_size=args.batch_size, batch_engine=args.batch_engine,
         prefetch_depth=args.prefetch_depth, array_backend=args.backend,
         prep_backend=args.prep_backend, precision=args.precision,
+        prep_pool_workers=args.prep_pool_workers,
+        prep_cache_mb=args.prep_cache_mb,
         cache_ratio=args.cache_ratio,
         lr=args.lr, eval_negatives=args.eval_negatives, seed=args.seed,
     )
@@ -588,6 +607,8 @@ def run_serve(args: argparse.Namespace) -> dict:
         finder=args.finder, cache_ratio=args.cache_ratio,
         array_backend=args.backend, prep_backend=args.prep_backend,
         precision=args.precision,
+        prep_pool_workers=args.prep_pool_workers,
+        prep_cache_mb=args.prep_cache_mb,
         batch_size=args.batch_size, epochs=args.warmup_epochs,
         max_batches_per_epoch=args.max_batches_per_epoch,
         lr=args.lr, seed=args.seed,

@@ -11,6 +11,7 @@ to the paper's values.
 from __future__ import annotations
 
 import dataclasses
+import os
 from dataclasses import dataclass
 from typing import Any, Dict, Optional
 
@@ -112,6 +113,24 @@ class TaserConfig:
     #: bounded-queue depth of the "prefetch" engine (batches generated ahead).
     prefetch_depth: int = 2
 
+    # -- pipeline-parallel prep runtime ---------------------------------------------
+    #: worker threads of the prep pool (repro.core.prep_pool): prep for the
+    #: next batches overlaps the current batch's propagation.  0 runs the
+    #: pool runtime inline (no threads — the bitwise anchor of the pooled
+    #: keyed-RNG protocol); None resolves the REPRO_PREP_POOL environment
+    #: variable and, failing that, leaves the pool runtime off entirely
+    #: (legacy sequential RNG streams, bitwise-identical to prior releases).
+    #: Any pool size produces bitwise-identical trajectories to pool size 0.
+    prep_pool_workers: Optional[int] = None
+    #: byte budget (in MiB) of the cross-epoch prep-plan cache
+    #: (repro.core.prep_cache): deterministic prep stages are memoized per
+    #: (batch ordinal, graph version), so epoch 2+ skips straight to the
+    #: state-dependent stages.  0 disables the cache; None resolves the
+    #: REPRO_PREP_CACHE_MB environment variable and falls back to 0.
+    #: Setting a cache budget without prep_pool_workers activates the pool
+    #: runtime inline (pool size 0).
+    prep_cache_mb: Optional[int] = None
+
     # -- array backend ------------------------------------------------------------
     #: array backend of the propagation hot path (repro.tensor.backend):
     #: "reference" (plain numpy, the semantics anchor) or "fused" (out=/
@@ -186,6 +205,16 @@ class TaserConfig:
                 f"prefetch_depth must be >= 1, got {self.prefetch_depth}: it "
                 "is the bounded-queue depth of the 'prefetch' engine (how "
                 "many batches the producer may run ahead of training)")
+        if self.prep_pool_workers is not None and self.prep_pool_workers < 0:
+            raise ValueError(
+                f"prep_pool_workers must be >= 0, got {self.prep_pool_workers}: "
+                "0 runs the pool runtime inline, N > 0 adds worker threads, "
+                "None leaves the pool runtime off")
+        if self.prep_cache_mb is not None and self.prep_cache_mb < 0:
+            raise ValueError(
+                f"prep_cache_mb must be >= 0, got {self.prep_cache_mb}: it is "
+                "the byte budget (MiB) of the cross-epoch prep-plan cache "
+                "(0 disables the cache)")
         if self.adaptive_minibatch and self.finder == "tgl":
             raise ValueError(
                 "the TGL pointer-array finder only supports chronological order and "
@@ -227,6 +256,48 @@ class TaserConfig:
         fp32)."""
         from ..device.precision import resolve_precision_name
         return resolve_precision_name(self.precision)
+
+    @property
+    def resolved_prep_pool_workers(self) -> Optional[int]:
+        """Prep-pool size (explicit > REPRO_PREP_POOL env > None = off).
+
+        ``None`` means the pipeline-parallel prep runtime is not requested at
+        all; ``0`` requests the runtime but runs it inline on the consumer
+        thread (the bitwise anchor every pool size must match).
+        """
+        if self.prep_pool_workers is not None:
+            return self.prep_pool_workers
+        raw = os.environ.get("REPRO_PREP_POOL", "").strip()
+        if not raw:
+            return None
+        workers = int(raw)
+        if workers < 0:
+            raise ValueError(f"REPRO_PREP_POOL must be >= 0, got {workers}")
+        return workers
+
+    @property
+    def resolved_prep_cache_bytes(self) -> int:
+        """Prep-plan cache budget in bytes (explicit > REPRO_PREP_CACHE_MB > 0)."""
+        if self.prep_cache_mb is not None:
+            mb = self.prep_cache_mb
+        else:
+            raw = os.environ.get("REPRO_PREP_CACHE_MB", "").strip()
+            mb = int(raw) if raw else 0
+            if mb < 0:
+                raise ValueError(f"REPRO_PREP_CACHE_MB must be >= 0, got {mb}")
+        return int(mb) * 1024 * 1024
+
+    @property
+    def prep_runtime_requested(self) -> bool:
+        """Whether the pipeline-parallel prep runtime should be attempted.
+
+        True when a pool size is set (even 0 = inline) or a plan-cache budget
+        is set; the runtime may still fall back per-path when the
+        configuration cannot be prepared ahead of order (see
+        :func:`repro.core.prep_pool.make_prep_runner`).
+        """
+        return (self.resolved_prep_pool_workers is not None
+                or self.resolved_prep_cache_bytes > 0)
 
     @property
     def resolved_finder_policy(self) -> str:

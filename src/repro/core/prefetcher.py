@@ -159,10 +159,30 @@ class BatchEngine:
         for local_indices in self._schedule(max_batches):
             yield self._prepare_sync(local_indices)
 
+    def _pooled_epoch(self,
+                      max_batches: Optional[int]) -> Optional[Iterator[PreparedBatch]]:
+        """The pipeline-parallel prep runtime's epoch, if one is active.
+
+        When the trainer carries a :class:`~repro.core.prep_pool.PrepRunner`
+        (``--prep-pool-workers`` / ``--prep-cache-mb``), every engine routes
+        its epoch through it: batch preparation then runs on the runner's
+        worker pool under the keyed-draw protocol with cross-epoch plan
+        caching, superseding the engine's own pipelining.  Returns ``None``
+        when the runtime is off, leaving the legacy engine paths (and their
+        bitwise behaviour) untouched.
+        """
+        runner = getattr(self.trainer, "prep_runner", None)
+        if runner is None:
+            return None
+        return runner.epoch(max_batches)
+
     # -- interface ------------------------------------------------------------------
 
     def epoch(self, max_batches: Optional[int] = None) -> Iterator[PreparedBatch]:
         """Yield the prepared batches of one training epoch."""
+        pooled = self._pooled_epoch(max_batches)
+        if pooled is not None:
+            return pooled
         return self._sync_epoch(max_batches)
 
     def begin_epoch(self) -> None:
@@ -234,6 +254,9 @@ class PrefetchBatchEngine(BatchEngine):
     # -- interface ------------------------------------------------------------------
 
     def epoch(self, max_batches: Optional[int] = None) -> Iterator[PreparedBatch]:
+        pooled = self._pooled_epoch(max_batches)
+        if pooled is not None:
+            return pooled
         if self.capability == "none":
             return self._sync_epoch(max_batches)
         return self._pipelined_epoch(max_batches)
@@ -370,6 +393,11 @@ class AOTBatchEngine(BatchEngine):
         return self._plan_finder is not None
 
     def epoch(self, max_batches: Optional[int] = None) -> Iterator[PreparedBatch]:
+        pooled = self._pooled_epoch(max_batches)
+        if pooled is not None:
+            # The pool runtime supersedes the vectorised plan: batches come
+            # from worker threads under the keyed-draw protocol instead.
+            return pooled
         if self.capability == "none":
             return self._sync_epoch(max_batches)
         return self._planned_epoch(max_batches)

@@ -49,12 +49,13 @@ Contracts
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Iterator, List, Optional
+from typing import TYPE_CHECKING, Iterator, List, Optional, Tuple
 
 import numpy as np
 
 from ..sampling.base import NeighborBatch
 from ..sampling.recursive import flatten_frontier
+from ..utils.rng import keyed_rng
 from ..utils.timer import Timer
 from .pipeline import CandidateSlice, MiniBatchGenerator
 
@@ -64,6 +65,14 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..graph.temporal_graph import TemporalGraph
 
 __all__ = ["PreparedBatch", "PrepPipeline"]
+
+#: RNG sub-stream domains of the keyed (pipeline-parallel) draw protocol.
+#: Keys are ``SeedSequence([component seed, domain, graph version, batch
+#: ordinal, ...])`` so every stochastic prep stage is a pure function of the
+#: batch identity — independent of worker thread, execution order and pool
+#: size (see :mod:`repro.core.prep_pool`).
+_DRAW_NF = 1
+_DRAW_NEG = 2
 
 
 @dataclass
@@ -101,6 +110,10 @@ class PreparedBatch:
     #: precomputed root features (only meaningful when ``first_hop`` is set;
     #: None is a valid value for graphs without node features).
     root_feat: Optional[np.ndarray] = None
+    #: keyed-draw identity ``(graph version, batch ordinal)`` under the
+    #: pipeline-parallel prep runtime; None selects the legacy sequential
+    #: RNG streams (bitwise-identical to every pre-pool release).
+    draw_key: Optional[Tuple[int, int]] = None
 
 
 class PrepPipeline:
@@ -153,12 +166,20 @@ class PrepPipeline:
 
     # -- root-query assembly -----------------------------------------------------
 
-    def assemble_train(self, local_indices: np.ndarray) -> PreparedBatch:
+    def assemble_train(self, local_indices: np.ndarray,
+                       draw_key: Optional[Tuple[int, int]] = None
+                       ) -> PreparedBatch:
         """Root-query assembly of one training batch, in the sync order.
 
         Looks up the scheduled positives in the split, draws one negative
         destination per positive (the only RNG this stage consumes), and
         lays the roots out as ``[src; dst; negatives]``.
+
+        ``draw_key`` switches the negative draw (and, through
+        :meth:`complete_ahead`/:meth:`finish`, the neighbor-finder draws) to
+        the keyed protocol: a generator derived purely from
+        ``(sampler seed, domain, *draw_key)``, so the batch can be prepared
+        on any worker thread in any order with a bitwise-identical result.
         """
         if self.graph is None or self.split is None:
             raise ValueError("this PrepPipeline has no graph/split: it can "
@@ -169,11 +190,16 @@ class PrepPipeline:
         dst = graph.dst[global_idx]
         ts = graph.ts[global_idx]
         b = int(global_idx.size)
-        negatives = self.negative_sampler.sample(b, exclude=dst)
+        if draw_key is None:
+            negatives = self.negative_sampler.sample(b, exclude=dst)
+        else:
+            rng = keyed_rng(self.negative_sampler.seed, _DRAW_NEG, *draw_key)
+            negatives = self.negative_sampler.sample(b, exclude=dst, rng=rng)
         roots = np.concatenate([src, dst, negatives])
         times = np.concatenate([ts, ts, ts])
         return PreparedBatch(local_indices=local_indices, num_positives=b,
-                             negatives=negatives, roots=roots, times=times)
+                             negatives=negatives, roots=roots, times=times,
+                             draw_key=draw_key)
 
     def assemble_eval(self, src: np.ndarray, dst: np.ndarray, ts: np.ndarray,
                       negatives: np.ndarray) -> PreparedBatch:
@@ -201,6 +227,12 @@ class PrepPipeline:
 
     # -- stages: candidates -> gather -> encode -> assemble ----------------------
 
+    def _nf_rngs(self, draw_key: Tuple[int, int], hops: int) -> List:
+        """One keyed generator per neighbor-finder ``sample`` call of a batch."""
+        finder = self.generator.finder
+        return [keyed_rng(finder.seed, _DRAW_NF, *draw_key, hop)
+                for hop in range(hops)]
+
     def finish(self, prepared: PreparedBatch, train: bool = True,
                timer: Optional[Timer] = None) -> PreparedBatch:
         """Run the remaining stages until ``prepared.minibatch`` is built.
@@ -210,12 +242,26 @@ class PrepPipeline:
         re-running NF/FS, and an already-built mini-batch passes through
         untouched — so the same entry point serves the synchronous path and
         the consumer half of the pipelined engines.
+
+        Batches carrying a ``draw_key`` run their neighbor-finder stages
+        under pre-drawn keyed generators (one per hop); batches whose hop-1
+        stage was already consumed ahead of time never draw again (deeper
+        hops only exist ahead-of-order under the deterministic ``recent``
+        policy — see :func:`~repro.core.prefetcher.plan_capability`).
         """
         if prepared.minibatch is None:
-            prepared.minibatch = self.generator.build(
-                prepared.roots, prepared.times, train=train,
-                first_hop=prepared.first_hop, root_feat=prepared.root_feat,
-                timer=timer)
+            if prepared.draw_key is not None and prepared.first_hop is None:
+                finder = self.generator.finder
+                with finder.pre_drawn(self._nf_rngs(prepared.draw_key,
+                                                    self.generator.num_layers)):
+                    prepared.minibatch = self.generator.build(
+                        prepared.roots, prepared.times, train=train,
+                        root_feat=prepared.root_feat, timer=timer)
+            else:
+                prepared.minibatch = self.generator.build(
+                    prepared.roots, prepared.times, train=train,
+                    first_hop=prepared.first_hop, root_feat=prepared.root_feat,
+                    timer=timer)
         return prepared
 
     def prepare_train(self, local_indices: np.ndarray,
@@ -245,14 +291,22 @@ class PrepPipeline:
             return self.finish(prepared, train=True, timer=timer)
         prepared.root_feat = self.generator.slice_root_features(
             prepared.roots, timer=timer)
-        prepared.first_hop = self.generator.layer_candidates(
-            prepared.roots, prepared.times, timer=timer)
+        if prepared.draw_key is not None:
+            with self.generator.finder.pre_drawn(
+                    self._nf_rngs(prepared.draw_key, 1)):
+                prepared.first_hop = self.generator.layer_candidates(
+                    prepared.roots, prepared.times, timer=timer)
+        else:
+            prepared.first_hop = self.generator.layer_candidates(
+                prepared.roots, prepared.times, timer=timer)
         return prepared
 
     def prepare_ahead(self, local_indices: np.ndarray, capability: str,
-                      timer: Optional[Timer] = None) -> PreparedBatch:
+                      timer: Optional[Timer] = None,
+                      draw_key: Optional[Tuple[int, int]] = None
+                      ) -> PreparedBatch:
         """Assemble + :meth:`complete_ahead` (the prefetch producer's path)."""
-        return self.complete_ahead(self.assemble_train(local_indices),
+        return self.complete_ahead(self.assemble_train(local_indices, draw_key),
                                    capability, timer=timer)
 
     # -- vectorised chunk planning (AOT engine) ----------------------------------

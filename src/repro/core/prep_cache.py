@@ -1,0 +1,187 @@
+"""Cross-epoch prep-plan cache: memoized deterministic prep stages.
+
+Under the pipeline-parallel prep runtime (:mod:`repro.core.prep_pool`) every
+stochastic prep draw is a pure function of ``(component seed, graph version,
+batch ordinal)`` — see :mod:`repro.core.prep` — which makes the ahead-of-order
+prep product (the post-``complete_ahead`` :class:`~repro.core.prep.
+PreparedBatch`: schedule entry, negatives, candidate neighborhoods, gathered
+features) *re-usable across epochs*: epoch 2 prepares the exact same bytes
+epoch 1 did, so recomputing them is pure waste.  This module caches those
+products per batch and lets later epochs skip straight to the
+state-dependent stages (adaptive selection, deeper hops, propagation).
+
+Invalidation contract
+---------------------
+Keys include the graph's monotone ``version`` counter, bumped by every
+successful :meth:`~repro.graph.temporal_graph.TemporalGraph.append_events`
+(and therefore by ``StreamingTrainer.ingest`` / ``ServeEngine.ingest``).  A
+window rebuild or ingested chunk changes the version, so every stale plan
+misses naturally — no explicit flush is needed, though :meth:`clear` exists
+for consumers that rebuild their world wholesale.
+
+Copy-on-hit contract
+--------------------
+A hit returns a **shallow copy** of the cached batch.  Consumers mutate the
+returned object (``PrepPipeline.finish`` assigns ``minibatch`` for
+capability-``first_hop`` batches, whose final assembly depends on trainable
+adaptive-sampler state and must re-run every epoch); the copy keeps those
+epoch-local mutations off the cached original.  The underlying arrays are
+shared — prep products are read-only downstream (the same discipline that
+lets prefetch queues hold them across steps).
+
+Eviction is LRU under a byte budget; entries larger than the whole budget
+are skipped (and counted) rather than thrashing the cache.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import fields, replace
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from .prep import PreparedBatch
+
+__all__ = ["PrepPlanCache", "prepared_nbytes", "deep_copy_arrays"]
+
+
+def deep_copy_arrays(obj):
+    """Deep-copy every ndarray reachable through dataclass/list/tuple edges.
+
+    Needed by consumers whose prep products are built inside a workspace-
+    arena scope (the serve engine): arena-backed buffers are recycled at the
+    next batch boundary, so a cached entry must own stable copies.  Non-array
+    leaves (ints, Tensors, None) are shared.
+    """
+    if isinstance(obj, np.ndarray):
+        return np.array(obj, copy=True)
+    if isinstance(obj, (list, tuple)):
+        return type(obj)(deep_copy_arrays(item) for item in obj)
+    if hasattr(obj, "__dataclass_fields__") and not isinstance(obj, type):
+        return replace(obj, **{f.name: deep_copy_arrays(getattr(obj, f.name))
+                               for f in fields(obj)})
+    return obj
+
+
+def _array_nbytes(obj) -> int:
+    """Recursive byte accounting over the array-bearing prep containers."""
+    if obj is None:
+        return 0
+    if isinstance(obj, np.ndarray):
+        return int(obj.nbytes)
+    if isinstance(obj, (list, tuple)):
+        return sum(_array_nbytes(item) for item in obj)
+    # Dataclass containers (NeighborBatch, CandidateSlice, HopData, ...).
+    if hasattr(obj, "__dataclass_fields__"):
+        return sum(_array_nbytes(getattr(obj, f.name))
+                   for f in fields(obj))
+    # MiniBatch exposes hops + root arrays via __dict__.
+    if hasattr(obj, "__dict__"):
+        return sum(_array_nbytes(value) for value in vars(obj).values())
+    return 0
+
+
+def prepared_nbytes(prepared: PreparedBatch) -> int:
+    """Total array bytes held by one cached :class:`PreparedBatch`."""
+    return _array_nbytes(prepared)
+
+
+class PrepPlanCache:
+    """Byte-budget LRU cache of ahead-of-order prep products.
+
+    Parameters
+    ----------
+    budget_bytes:
+        Maximum total array bytes of resident entries.  ``0`` disables the
+        cache (every :meth:`get` misses, every :meth:`put` is dropped), which
+        lets consumers hold one unconditional cache object.
+    """
+
+    def __init__(self, budget_bytes: int) -> None:
+        if budget_bytes < 0:
+            raise ValueError(f"budget_bytes must be >= 0, got {budget_bytes}")
+        self.budget_bytes = int(budget_bytes)
+        self._entries: "OrderedDict[Tuple, Tuple[PreparedBatch, int]]" = OrderedDict()
+        self._bytes = 0
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+        self.insertions = 0
+        self.evictions = 0
+        self.oversize_skips = 0
+
+    @property
+    def enabled(self) -> bool:
+        return self.budget_bytes > 0
+
+    @property
+    def current_bytes(self) -> int:
+        return self._bytes
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    # -- access ----------------------------------------------------------------
+
+    def get(self, key: Tuple) -> Optional[PreparedBatch]:
+        """Look up ``key``; a hit returns a shallow copy (see module docs)."""
+        if not self.enabled:
+            return None
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            prepared = entry[0]
+        # replace() copies the dataclass container; the arrays stay shared.
+        return replace(prepared)
+
+    def put(self, key: Tuple, prepared: PreparedBatch) -> bool:
+        """Insert a finished prep product; returns whether it was admitted."""
+        if not self.enabled:
+            return False
+        nbytes = prepared_nbytes(prepared)
+        if nbytes > self.budget_bytes:
+            self.oversize_skips += 1
+            return False
+        with self._lock:
+            old = self._entries.pop(key, None)
+            if old is not None:
+                self._bytes -= old[1]
+            while self._bytes + nbytes > self.budget_bytes and self._entries:
+                _, (_, evicted_bytes) = self._entries.popitem(last=False)
+                self._bytes -= evicted_bytes
+                self.evictions += 1
+            self._entries[key] = (prepared, nbytes)
+            self._bytes += nbytes
+            self.insertions += 1
+        return True
+
+    def clear(self) -> None:
+        """Drop every entry (the counters are preserved)."""
+        with self._lock:
+            self._entries.clear()
+            self._bytes = 0
+
+    # -- accounting --------------------------------------------------------------
+
+    def stats(self) -> Dict[str, float]:
+        return {
+            "plan_cache_hits": self.hits,
+            "plan_cache_misses": self.misses,
+            "plan_cache_hit_rate": self.hit_rate,
+            "plan_cache_entries": len(self._entries),
+            "plan_cache_bytes": self._bytes,
+            "plan_cache_insertions": self.insertions,
+            "plan_cache_evictions": self.evictions,
+            "plan_cache_oversize_skips": self.oversize_skips,
+        }

@@ -1,0 +1,335 @@
+"""Pipeline-parallel prep runtime: threaded worker pool + plan-cache driver.
+
+The fused prep and array backends left batch *preparation* (NF + FS) and
+*propagation* (PP) roughly balanced — and strictly serialized on one thread.
+This module overlaps them: a small pool of worker threads runs
+``PrepPipeline.prepare_ahead`` for upcoming batches behind a bounded
+submission window while the consumer trains on the current one (numpy/BLAS
+kernels release the GIL, so prep and propagation genuinely overlap on a
+multi-core host), and a cross-epoch :class:`~repro.core.prep_cache.
+PrepPlanCache` lets epoch 2+ skip recomputing deterministic prep entirely.
+
+Determinism: the keyed-draw protocol
+------------------------------------
+Running prep on pool threads breaks the legacy contract that every RNG draw
+happens in training order on one thread.  Instead of ordering draws, the
+pool runtime makes them *order-free*: each batch's stochastic stages draw
+from generators keyed purely on ``(component seed, domain, graph version,
+batch ordinal[, hop])`` (see :func:`repro.utils.rng.keyed_rng` and the
+``draw_key`` plumbing in :mod:`repro.core.prep`).  Batch content is then a
+pure function of batch identity — independent of which worker prepares it,
+in what order, and of the pool size.  Pool size 0 executes the same protocol
+inline on the consumer thread and is the bitwise anchor: any pool size
+produces identical batches, losses and MRR, which the fig1
+``overlap_equivalence`` hash pair enforces in CI.
+
+The keyed protocol is only engaged when the runtime is active; without it
+(``prep_pool_workers=None`` and no cache budget) every path keeps the legacy
+sequential streams, bitwise-identical to prior releases.
+
+Fallback rules
+--------------
+The runtime refuses configurations it cannot prepare ahead of order, falling
+back to the legacy engines transparently (mirroring
+:func:`~repro.core.prefetcher.plan_capability`):
+
+* capability ``"none"`` (adaptive mini-batch selection) — the schedule itself
+  depends on per-batch feedback;
+* chronological finders (``tgl``) — stateful pointer arrays cannot answer
+  out-of-order or concurrent queries.
+
+Failure semantics
+-----------------
+A worker exception is captured on its task and re-raised at the batch's
+*ordered consumption point* — the consumer sees it promptly (no hang), no
+earlier batch is silently skipped, and the epoch generator's ``finally``
+drains every in-flight task before returning, so a failed (or abandoned)
+epoch never leaves a worker racing a finder/window rebuild.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from dataclasses import replace
+from queue import SimpleQueue
+from time import perf_counter
+from typing import TYPE_CHECKING, Dict, Iterator, List, Optional, Tuple
+
+import numpy as np
+
+from ..utils.timer import Timer
+from .prefetcher import plan_capability
+from .prep import PreparedBatch
+from .prep_cache import PrepPlanCache
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .trainer import TaserTrainer
+
+__all__ = ["PrepWorkerPool", "PrepRunner", "make_prep_runner"]
+
+#: queue sentinel asking one worker thread to exit.
+_STOP = object()
+
+
+class _PrepTask:
+    """One submitted batch preparation: result/error slots + a done event."""
+
+    __slots__ = ("fn", "done", "result", "error", "busy_seconds")
+
+    def __init__(self, fn) -> None:
+        self.fn = fn
+        self.done = threading.Event()
+        self.result: Optional[PreparedBatch] = None
+        self.error: Optional[BaseException] = None
+        self.busy_seconds = 0.0
+
+
+class PrepWorkerPool:
+    """N daemon worker threads executing prep tasks from a shared queue.
+
+    Hand-rolled rather than ``ThreadPoolExecutor`` because the runtime needs
+    exactly three things executors make awkward: a per-worker
+    :class:`~repro.tensor.backend.WorkspaceArena` installed via the backend's
+    thread-local ``arena_scope`` for every task, per-task busy-seconds
+    accounting for the occupancy stats, and cheap lazy start / revivable
+    shutdown across trainer rebuilds.
+
+    Worker arenas are private to their thread and are **never reset**: arrays
+    escaping into a :class:`~repro.core.prep.PreparedBatch` are fresh
+    allocations by the existing prep discipline (prefetch queues hold batches
+    across steps), and scratch buffers are returned via ``give_back`` inside
+    the kernels — so there is no safe reset point and no need for one.
+    """
+
+    def __init__(self, workers: int, backend) -> None:
+        if workers <= 0:
+            raise ValueError(f"pool needs >= 1 worker, got {workers}")
+        self.workers = workers
+        self._backend = backend
+        self._queue: "SimpleQueue" = SimpleQueue()
+        self._threads: List[threading.Thread] = []
+        self._lock = threading.Lock()
+        #: total seconds workers spent executing tasks (monotone).
+        self.busy_seconds = 0.0
+
+    @property
+    def alive(self) -> bool:
+        return any(t.is_alive() for t in self._threads)
+
+    def start(self) -> None:
+        """Spawn the worker threads if they are not already running."""
+        if self.alive:
+            return
+        self._threads = []
+        for i in range(self.workers):
+            thread = threading.Thread(target=self._run, name=f"prep-pool-{i}",
+                                      daemon=True)
+            thread.start()
+            self._threads.append(thread)
+
+    def submit(self, fn) -> _PrepTask:
+        """Enqueue ``fn`` (no-arg callable returning a PreparedBatch)."""
+        self.start()
+        task = _PrepTask(fn)
+        self._queue.put(task)
+        return task
+
+    def shutdown(self) -> None:
+        """Stop the workers (revivable: the next submit restarts them)."""
+        if not self.alive:
+            self._threads = []
+            return
+        for _ in self._threads:
+            self._queue.put(_STOP)
+        for thread in self._threads:
+            thread.join()
+        self._threads = []
+
+    def _run(self) -> None:
+        arena = self._backend.new_arena()
+        while True:
+            task = self._queue.get()
+            if task is _STOP:
+                return
+            start = perf_counter()
+            try:
+                with self._backend.arena_scope(arena):
+                    task.result = task.fn()
+            except BaseException as exc:  # re-raised at the consumption point
+                task.error = exc
+            finally:
+                elapsed = perf_counter() - start
+                task.busy_seconds = elapsed
+                with self._lock:
+                    self.busy_seconds += elapsed
+                task.done.set()
+
+
+class _Pending:
+    """One in-flight batch of the submission window."""
+
+    __slots__ = ("key", "task", "prepared", "timer", "cache_hit")
+
+    def __init__(self, key: Tuple, task: Optional[_PrepTask],
+                 prepared: Optional[PreparedBatch], timer: Optional[Timer],
+                 cache_hit: bool) -> None:
+        self.key = key
+        self.task = task
+        self.prepared = prepared
+        self.timer = timer
+        self.cache_hit = cache_hit
+
+
+class PrepRunner:
+    """Drives one trainer's epochs through the pool + plan cache.
+
+    Built by :func:`make_prep_runner` (``None`` when the runtime is off or
+    the configuration cannot run ahead of order); the batch engines route
+    their epochs through :meth:`epoch` whenever a runner exists.  The runner
+    reads ``trainer.prep`` / ``trainer.graph`` dynamically, so consumers that
+    re-point them between epochs (the streaming trainer rebuilds its window)
+    need no re-wiring — the graph-version key invalidates stale plans.
+    """
+
+    def __init__(self, trainer: "TaserTrainer", workers: int,
+                 cache_bytes: int, capability: str) -> None:
+        self.trainer = trainer
+        self.workers = workers
+        self.capability = capability
+        self.pool = (PrepWorkerPool(workers, trainer.array_backend)
+                     if workers > 0 else None)
+        self.cache = PrepPlanCache(cache_bytes)
+        #: published by the epoch generator's cleanup for EpochStats.
+        self.last_epoch_stats: Dict[str, float] = self._zero_stats()
+
+    def _zero_stats(self) -> Dict[str, float]:
+        return {"prep_overlap_seconds": 0.0, "plan_cache_hit_rate": 0.0,
+                "pool_occupancy": 0.0, "prep_pool_workers": self.workers}
+
+    # -- per-batch pieces --------------------------------------------------------
+
+    def _key(self, ordinal: int, version: int) -> Tuple:
+        prep = self.trainer.prep
+        return (ordinal, version, prep.name, self.capability,
+                prep.generator._candidate_budget())
+
+    def _submit(self, ordinal: int, local_indices: np.ndarray,
+                version: int) -> _Pending:
+        key = self._key(ordinal, version)
+        hit = self.cache.get(key)
+        if hit is not None:
+            return _Pending(key, None, hit, None, True)
+        prep = self.trainer.prep
+        timer = Timer()
+        draw_key = (version, ordinal)
+
+        def produce() -> PreparedBatch:
+            return prep.prepare_ahead(local_indices, self.capability,
+                                      timer=timer, draw_key=draw_key)
+
+        if self.pool is None:
+            # Inline (pool size 0): same keyed protocol, no threads — the
+            # bitwise anchor every pool size must match.
+            task = _PrepTask(produce)
+            start = perf_counter()
+            try:
+                task.result = produce()
+            except BaseException as exc:
+                task.error = exc
+            task.busy_seconds = perf_counter() - start
+            task.done.set()
+            return _Pending(key, task, None, timer, False)
+        return _Pending(key, self.pool.submit(produce), None, timer, False)
+
+    def _consume(self, pending: _Pending) -> PreparedBatch:
+        if pending.task is not None:
+            pending.task.done.wait()
+            if pending.task.error is not None:
+                raise pending.task.error
+            pending.prepared = pending.task.result
+        # Phase timings merge at the ordered consumption point, so the
+        # NF/FS/AS breakdown is summed in schedule order at every pool size.
+        if pending.timer is not None:
+            self.trainer.timer.merge(pending.timer)
+        if not pending.cache_hit:
+            # Cache a container snapshot: the trainer mutates the yielded
+            # object (finish() assigns the epoch-local minibatch for
+            # first_hop batches), which must not leak into the cache.
+            self.cache.put(pending.key, replace(pending.prepared))
+        return pending.prepared
+
+    # -- the epoch ---------------------------------------------------------------
+
+    def epoch(self, max_batches: Optional[int] = None) -> Iterator[PreparedBatch]:
+        """Yield the epoch's batches in schedule order through the runtime."""
+        trainer = self.trainer
+        version = int(getattr(trainer.prep.graph, "version", 0))
+        window = (self.workers + trainer.config.prefetch_depth
+                  if self.pool is not None else 1)
+        schedule = enumerate(trainer.prep.schedule(max_batches))
+        pending: "deque[_Pending]" = deque()
+        hits0, misses0 = self.cache.hits, self.cache.misses
+        busy0 = self.pool.busy_seconds if self.pool is not None else 0.0
+        start = perf_counter()
+        exhausted = False
+        try:
+            while True:
+                while not exhausted and len(pending) < window:
+                    try:
+                        ordinal, local_indices = next(schedule)
+                    except StopIteration:
+                        exhausted = True
+                        break
+                    pending.append(self._submit(ordinal, local_indices, version))
+                if not pending:
+                    return
+                yield self._consume(pending.popleft())
+        finally:
+            # Drain every in-flight task (normal end, consumer exception or
+            # generator close): a worker must never outlive the epoch into a
+            # finder reset or streaming window rebuild.
+            for item in pending:
+                if item.task is not None:
+                    item.task.done.wait()
+            span = perf_counter() - start
+            busy = (self.pool.busy_seconds - busy0
+                    if self.pool is not None else 0.0)
+            hits = self.cache.hits - hits0
+            misses = self.cache.misses - misses0
+            self.last_epoch_stats = {
+                "prep_overlap_seconds": busy,
+                "plan_cache_hit_rate": (hits / (hits + misses)
+                                        if (hits + misses) else 0.0),
+                "pool_occupancy": (busy / (self.workers * span)
+                                   if self.pool is not None and span > 0
+                                   else 0.0),
+                "prep_pool_workers": self.workers,
+            }
+
+    def shutdown(self) -> None:
+        """Stop the pool threads (the plan cache survives; revivable)."""
+        if self.pool is not None:
+            self.pool.shutdown()
+
+
+def make_prep_runner(trainer: "TaserTrainer") -> Optional[PrepRunner]:
+    """Build the trainer's prep runner, or ``None`` when it must not run.
+
+    ``None`` (the default when neither ``prep_pool_workers`` nor
+    ``prep_cache_mb`` is configured) keeps every execution path on the legacy
+    sequential-RNG engines, bitwise-identical to prior releases.
+    """
+    cfg = trainer.config
+    if not cfg.prep_runtime_requested:
+        return None
+    if trainer.finder.requires_chronological:
+        # Stateful chronological finders (tgl) cannot answer out-of-order or
+        # concurrent queries: full legacy fallback, cache off.
+        return None
+    capability = plan_capability(cfg, trainer.finder)
+    if capability == "none":
+        return None
+    workers = cfg.resolved_prep_pool_workers or 0
+    return PrepRunner(trainer, workers, cfg.resolved_prep_cache_bytes,
+                      capability)

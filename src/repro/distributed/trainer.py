@@ -221,6 +221,15 @@ class ShardedTrainer:
                 s["workspace_allocations_saved"] for s in summaries)),
             workspace_bytes_saved=int(sum(
                 s["workspace_bytes_saved"] for s in summaries)),
+            # Pool runtime: overlap sums across shards; rates average.
+            prep_overlap_seconds=float(sum(
+                s.get("prep_overlap_seconds", 0.0) for s in summaries)),
+            plan_cache_hit_rate=float(np.mean(
+                [s.get("plan_cache_hit_rate", 0.0) for s in summaries])),
+            pool_occupancy=float(np.mean(
+                [s.get("pool_occupancy", 0.0) for s in summaries])),
+            prep_pool_workers=int(max(
+                s.get("prep_pool_workers", 0) for s in summaries)),
             per_shard=summaries,
             sync_seconds=sync_seconds,
             global_steps=steps,

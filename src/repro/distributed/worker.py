@@ -219,6 +219,8 @@ class ShardWorker:
                if isinstance(t.selector, AdaptiveMiniBatchSelector)
                else float(t.split.num_train))
         ws_end = t.array_backend.arena_stats(t._workspace)
+        pool_stats = (t.prep_runner.last_epoch_stats
+                      if t.prep_runner is not None else {})
         return {
             "shard": self.task.shard_index,
             "losses": list(self._losses),
@@ -238,6 +240,13 @@ class ShardWorker:
             "workspace_bytes_saved": int(
                 ws_end["workspace_bytes_reused"]
                 - self._ws_start["workspace_bytes_reused"]),
+            "prep_overlap_seconds": float(
+                pool_stats.get("prep_overlap_seconds", 0.0)),
+            "plan_cache_hit_rate": float(
+                pool_stats.get("plan_cache_hit_rate", 0.0)),
+            "pool_occupancy": float(pool_stats.get("pool_occupancy", 0.0)),
+            "prep_pool_workers": int(
+                pool_stats.get("prep_pool_workers", 0)),
         }
 
     # -- replica state ----------------------------------------------------------------

@@ -68,6 +68,7 @@ class BatchedProbeFinder(NeighborFinder):
         self.name = f"fused-probe[{base.name}]"
         self.tcsr = base.tcsr
         self.policy = base.policy
+        self.seed = base.seed
         self.rng = base.rng
         self.requires_chronological = base.requires_chronological
         # Only the per-query original finder has a Python probe loop worth
@@ -78,6 +79,17 @@ class BatchedProbeFinder(NeighborFinder):
 
     def reset(self) -> None:
         self.base.reset()
+
+    # -- pre-drawn RNG protocol -----------------------------------------------
+
+    def pre_drawn(self, rngs):
+        """Delegate to the wrapped finder — the two share one RNG protocol
+        (and one thread-local pre-draw queue), exactly as they share ``rng``,
+        so the prep_backend_equivalence contract holds under the pool too."""
+        return self.base.pre_drawn(rngs)
+
+    def _sample_rng(self) -> np.random.Generator:
+        return self.base._sample_rng()
 
     # -- workspace -------------------------------------------------------------
 
@@ -106,7 +118,8 @@ class BatchedProbeFinder(NeighborFinder):
         offsets = np.maximum(rel, 0, out=rel)
         return offsets, mask, rel
 
-    def _uniform_offsets(self, counts: np.ndarray, budget: int):
+    def _uniform_offsets(self, counts: np.ndarray, budget: int,
+                         rng: np.random.Generator):
         """Uniform-without-replacement offsets, replaying the per-row draws.
 
         Rows with ``counts <= budget`` take ``arange(counts)`` (no RNG, fully
@@ -119,13 +132,14 @@ class BatchedProbeFinder(NeighborFinder):
         np.copyto(offsets, np.arange(budget, dtype=_I64)[None, :])
         mask = offsets < counts[:, None]
         for i in np.nonzero(counts > budget)[0]:
-            offsets[i] = self.rng.choice(int(counts[i]), size=budget,
-                                         replace=False)
+            offsets[i] = rng.choice(int(counts[i]), size=budget,
+                                    replace=False)
             mask[i] = True
         return offsets, mask, offsets
 
     def _inverse_timespan_offsets(self, times: np.ndarray, starts: np.ndarray,
-                                  counts: np.ndarray, budget: int):
+                                  counts: np.ndarray, budget: int,
+                                  rng: np.random.Generator):
         """1/Δt-weighted offsets; weights are per-row, so oversubscribed rows
         keep their per-row draws (same float ops and RNG order as the wrapped
         finder) while everything else stays batched."""
@@ -140,8 +154,8 @@ class BatchedProbeFinder(NeighborFinder):
             delta = float(times[i]) - ts[lo:lo + c]
             weights = 1.0 / np.maximum(delta, 1e-9)
             weights = weights / weights.sum()
-            offsets[i] = self.rng.choice(c, size=budget, replace=False,
-                                         p=weights)
+            offsets[i] = rng.choice(c, size=budget, replace=False,
+                                    p=weights)
             mask[i] = True
         return offsets, mask, offsets
 
@@ -171,10 +185,11 @@ class BatchedProbeFinder(NeighborFinder):
         if self.policy == "recent":
             offsets, mask, scratch = self._recent_offsets(counts, budget)
         elif self.policy == "uniform":
-            offsets, mask, scratch = self._uniform_offsets(counts, budget)
+            offsets, mask, scratch = self._uniform_offsets(
+                counts, budget, self._sample_rng())
         else:  # inverse_timespan
             offsets, mask, scratch = self._inverse_timespan_offsets(
-                times, starts, counts, budget)
+                times, starts, counts, budget, self._sample_rng())
 
         arena = self.arena
         abs_idx = arena.scratch((b, budget), _I64)

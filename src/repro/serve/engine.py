@@ -42,6 +42,7 @@ from __future__ import annotations
 
 import hashlib
 import json
+import os
 import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterable, List, Optional
@@ -50,6 +51,7 @@ import numpy as np
 
 from ..core.pipeline import MiniBatchGenerator
 from ..core.prep_backend import make_prep_pipeline, resolve_prep_backend_name
+from ..core.prep_cache import PrepPlanCache, deep_copy_arrays
 from ..device.costmodel import TransferCostModel
 from ..device.memory import FeatureStore
 from ..device.precision import PrecisionPolicy, resolve_precision_name
@@ -194,6 +196,19 @@ class ServeEngine:
         Callable returning monotonically increasing seconds
         (default ``time.perf_counter``; inject :class:`VirtualClock` for
         deterministic deadline handling in replay).
+    prep_cache_mb:
+        Byte budget (MiB) of the serve-side prep-plan cache: repeated
+        micro-batches of the same unique ``(node, t)`` endpoints skip the
+        prep build entirely (content-keyed, invalidated by the graph's
+        version counter at every :meth:`ingest`).  ``None`` resolves
+        ``REPRO_PREP_CACHE_MB`` then 0 (off).  Cache decisions depend only
+        on the query sequence and graph state, so the deterministic replay
+        contract holds with the cache on.
+    prep_pool_workers:
+        Accepted for interface symmetry with training; serving's
+        micro-batch flushes are synchronous single passes whose embedding-
+        cache inserts feed the next chunk, so batch prep is never run on
+        pool threads here (the value is recorded in :meth:`stats` only).
     """
 
     def __init__(self, graph: TemporalGraph, backbone, predictor, *,
@@ -208,7 +223,9 @@ class ServeEngine:
                  staleness_events: Optional[int] = None,
                  staleness_time: Optional[float] = 0.0,
                  cache_nodes: Optional[int] = None, seed: int = 0,
-                 clock: Optional[Callable[[], float]] = None) -> None:
+                 clock: Optional[Callable[[], float]] = None,
+                 prep_cache_mb: Optional[int] = None,
+                 prep_pool_workers: Optional[int] = None) -> None:
         if max_batch < 1:
             raise ValueError(f"max_batch must be >= 1, got {max_batch}")
         if queue_depth < 1:
@@ -255,6 +272,17 @@ class ServeEngine:
                 hot_fraction=self.precision.hot_fraction,
                 warm_fraction=self.precision.warm_fraction)
 
+        if prep_cache_mb is None:
+            raw = os.environ.get("REPRO_PREP_CACHE_MB", "").strip()
+            prep_cache_mb = int(raw) if raw else 0
+        if prep_cache_mb < 0:
+            raise ValueError(
+                f"prep_cache_mb must be >= 0, got {prep_cache_mb}")
+        #: serve-side prep-plan cache (0-budget object when off).
+        self.plan_cache = PrepPlanCache(prep_cache_mb * 1024 * 1024)
+        #: recorded for stats symmetry with training; see the class docs.
+        self.prep_pool_workers = int(prep_pool_workers or 0)
+
         self.timer = Timer()
         self.stcsr = StreamingTCSR.from_graph(self.graph)
         self.feature_store = FeatureStore(self.graph, edge_cache=None,
@@ -285,7 +313,9 @@ class ServeEngine:
             finder=cfg.finder, finder_policy=cfg.resolved_finder_policy,
             prep_backend=cfg.resolved_prep_backend,
             array_backend=cfg.resolved_array_backend,
-            precision=cfg.resolved_precision, seed=cfg.seed)
+            precision=cfg.resolved_precision, seed=cfg.seed,
+            prep_cache_mb=cfg.resolved_prep_cache_bytes // (1024 * 1024),
+            prep_pool_workers=cfg.resolved_prep_pool_workers)
         defaults.update(kwargs)
         return cls(trainer.graph, trainer.backbone, trainer.predictor,
                    **defaults)
@@ -443,10 +473,31 @@ class ServeEngine:
                         key, axis=1, return_index=True, return_inverse=True)
                     uniq_nodes = nodes[misses][first]
                     uniq_times = times[misses][first]
-                    if self.finder.requires_chronological:
-                        self.finder.reset()
-                    minibatch = self.prep.generator.build(
-                        uniq_nodes, uniq_times, train=False)
+                    # Serve-side plan cache: identical unique endpoint sets
+                    # over an unchanged graph rebuild the exact same
+                    # minibatch, so skip the prep build.  Content-keyed (the
+                    # endpoint bytes), invalidated by the graph's version
+                    # counter on ingest.
+                    cache_key = None
+                    minibatch = None
+                    if self.plan_cache.enabled:
+                        digest = hashlib.sha256(
+                            uniq_nodes.tobytes() + uniq_times.tobytes()
+                        ).hexdigest()
+                        cache_key = (int(getattr(self.graph, "version", 0)),
+                                     digest, self.prep_backend_name,
+                                     self.num_layers, self.num_neighbors)
+                        minibatch = self.plan_cache.get(cache_key)
+                    if minibatch is None:
+                        if self.finder.requires_chronological:
+                            self.finder.reset()
+                        minibatch = self.prep.generator.build(
+                            uniq_nodes, uniq_times, train=False)
+                        if cache_key is not None:
+                            # Deep-copy: the build ran inside the workspace
+                            # arena whose buffers recycle next batch.
+                            self.plan_cache.put(
+                                cache_key, deep_copy_arrays(minibatch))
                     fresh = np.array(self.backbone.embed(minibatch).data,
                                      copy=True)
                     self.serve_stats.embeddings_computed += int(uniq_nodes.size)
@@ -507,6 +558,8 @@ class ServeEngine:
             "prep_backend": self.prep_backend_name,
             "array_backend": self.array_backend.name,
             "precision": self.precision.tier,
+            "prep_pool_workers": self.prep_pool_workers,
+            **self.plan_cache.stats(),
         }
 
 

@@ -103,6 +103,20 @@ MAX_FREE_BYTES = 256 * 1024 * 1024
 #: untracked allocations (GC-managed) without touching the free lists.
 MAX_IN_USE_BYTES = 1024 * 1024 * 1024
 
+#: output-element floor below which the fused backend skips the arena and
+#: evaluates the reference expression instead.  ``take`` pays a lock plus a
+#: free-list lookup (a few microseconds) per checkout, while numpy allocates
+#: a small array in well under a microsecond — so for small outputs the
+#: "saved" allocation costs more than it saves.  The measured crossover on
+#: the CPU bench host sits between 16K and 256K float64 elements; prep-side
+#: index/score/delta arrays are far below the floor, propagation feature
+#: blocks far above it.  The bypass is bitwise-safe: fast-path eligibility
+#: already requires C-contiguous operands, so the reference expression
+#: produces identical values in an identical layout.  The gate is on the
+#: *output* size — ``fixed_time_encoding`` expands a small ``dt`` into a
+#: large encoding and must keep its buffer.
+ARENA_MIN_ELEMENTS = 16384
+
 _F64 = np.dtype(np.float64)
 _BOOL = np.dtype(np.bool_)
 _F64_STR = _F64.str
@@ -132,9 +146,16 @@ class WorkspaceArena:
 
     __slots__ = ("_free", "_in_use", "_free_bytes", "_in_use_bytes",
                  "allocated", "reused", "untracked", "bytes_reused", "dropped",
-                 "resets")
+                 "resets", "_lock")
 
     def __init__(self) -> None:
+        # Checkout/release and the reuse counters are guarded by a lock: the
+        # prep worker pool hands each worker a private arena, but epoch-stats
+        # readers (and defensive consumers) may touch an arena from another
+        # thread, and an uncoordinated take/reset interleaving could hand the
+        # same free-list buffer out twice.  The lock is uncontended in the
+        # single-thread steady state, so the cost is a few ns per checkout.
+        self._lock = threading.Lock()
         self._free: Dict[Tuple[Tuple[int, ...], str], List[np.ndarray]] = {}
         self._in_use: List[np.ndarray] = []
         self._free_bytes = 0    # bytes currently parked on the free lists
@@ -177,31 +198,35 @@ class WorkspaceArena:
         so a consumer that never resets degrades to ordinary numpy
         allocation instead of pinning memory for the process lifetime.
         """
-        if (len(self._in_use) >= MAX_TRACKED_BUFFERS
-                or self._in_use_bytes >= MAX_IN_USE_BYTES):
-            self.untracked += 1
-            self.allocated += 1
-            return np.empty(shape, dtype=dtype)
-        buf = self._checkout(shape if type(shape) is tuple else tuple(shape), dtype)
-        self._in_use.append(buf)
-        self._in_use_bytes += buf.nbytes
-        return buf
+        with self._lock:
+            if (len(self._in_use) >= MAX_TRACKED_BUFFERS
+                    or self._in_use_bytes >= MAX_IN_USE_BYTES):
+                self.untracked += 1
+                self.allocated += 1
+                return np.empty(shape, dtype=dtype)
+            buf = self._checkout(shape if type(shape) is tuple else tuple(shape), dtype)
+            self._in_use.append(buf)
+            self._in_use_bytes += buf.nbytes
+            return buf
 
     def scratch(self, shape: Tuple[int, ...], dtype=np.float64) -> np.ndarray:
         """Check out a kernel-internal temporary; pair with :meth:`give_back`."""
-        return self._checkout(tuple(shape), dtype)
+        with self._lock:
+            return self._checkout(tuple(shape), dtype)
 
     def give_back(self, buf: np.ndarray) -> None:
         """Return a :meth:`scratch` buffer (which never escaped its kernel)."""
-        self._release(buf)
+        with self._lock:
+            self._release(buf)
 
     def reset(self) -> None:
         """Return every tracked buffer to the free lists (batch boundary)."""
-        for buf in self._in_use:
-            self._release(buf)
-        self._in_use.clear()
-        self._in_use_bytes = 0
-        self.resets += 1
+        with self._lock:
+            for buf in self._in_use:
+                self._release(buf)
+            self._in_use.clear()
+            self._in_use_bytes = 0
+            self.resets += 1
 
     # -- accounting ----------------------------------------------------------
 
@@ -496,13 +521,17 @@ class FusedBackend(ReferenceBackend):
         return self.arena.take(shape, dtype)
 
     # -- eligibility helpers -------------------------------------------------
-    # Two things gate the fast paths:
+    # Three things gate the fast paths:
     #
     # * Overhead — at CPU-benchmark scales most arrays are small, so a couple
     #   of microseconds of shape/dtype negotiation per op (np.broadcast_shapes
     #   alone costs ~2us) can cancel the allocation win.  Equal-shape float64
     #   pairs and array-scalar pairs — the overwhelming majority of hot-path
     #   calls — take a buffer with no negotiation at all.
+    #
+    # * Output size — checkouts below ARENA_MIN_ELEMENTS skip the arena
+    #   entirely (see the constant's rationale); each fast path guards on the
+    #   would-be output's element count via ``_worth``.
     #
     # * Layout fidelity — ufuncs *without* ``out=`` propagate the input's
     #   memory order (K-order): ``np.add(x.T, 0.0)`` yields an F-layout
@@ -519,6 +548,11 @@ class FusedBackend(ReferenceBackend):
         return (isinstance(x, np.ndarray) and x.dtype == _F64 and x.ndim > 0
                 and x.flags.c_contiguous)
 
+    @staticmethod
+    def _worth(size: int) -> bool:
+        """Whether an output of ``size`` elements is worth an arena checkout."""
+        return size >= ARENA_MIN_ELEMENTS
+
     def _binary(self, ufunc, ref, a, b):
         """``ufunc(a, b)`` into a workspace buffer when the result is float64."""
         if isinstance(a, np.ndarray) and a.dtype == _F64 and a.ndim > 0 \
@@ -526,10 +560,16 @@ class FusedBackend(ReferenceBackend):
             if isinstance(b, np.ndarray):
                 if b.shape == a.shape and (b.dtype == _F64 or b.dtype == _BOOL) \
                         and b.flags.c_contiguous:
+                    if not self._worth(a.size):
+                        return ref(a, b)
                     return ufunc(a, b, out=self.arena.take(a.shape))
             elif isinstance(b, (int, float)):
+                if not self._worth(a.size):
+                    return ref(a, b)
                 return ufunc(a, b, out=self.arena.take(a.shape))
         elif isinstance(a, (int, float)) and self._f64(b):
+            if not self._worth(b.size):
+                return ref(a, b)
             return ufunc(a, b, out=self.arena.take(b.shape))
         # General (broadcasting / mixed-dtype) path.
         if not isinstance(a, np.ndarray) or not isinstance(b, np.ndarray):
@@ -545,10 +585,15 @@ class FusedBackend(ReferenceBackend):
             return ref(a, b)
         if shape == ():
             return ref(a, b)
+        size = 1
+        for dim in shape:
+            size *= dim
+        if not self._worth(size):
+            return ref(a, b)
         return ufunc(a, b, out=self.arena.take(shape))
 
     def _unary(self, ufunc, ref, x):
-        if not self._f64(x):
+        if not self._f64(x) or not self._worth(x.size):
             return ref(x)
         return ufunc(x, out=self.arena.take(x.shape))
 
@@ -594,7 +639,7 @@ class FusedBackend(ReferenceBackend):
         return self._unary(np.abs, super().absolute, x)
 
     def clip(self, x, low, high):
-        if not self._f64(x):
+        if not self._f64(x) or not self._worth(x.size):
             return super().clip(x, low, high)
         return np.clip(x, low, high, out=self._out(x.shape))
 
@@ -611,6 +656,11 @@ class FusedBackend(ReferenceBackend):
                 except ValueError:
                     return super().matmul(a, b)
             shape = batch + (a.shape[-2], b.shape[-1])
+            size = 1
+            for dim in shape:
+                size *= dim
+            if not self._worth(size):
+                return super().matmul(a, b)
             return np.matmul(a, b, out=self.arena.take(shape))
         return super().matmul(a, b)
 
@@ -628,6 +678,11 @@ class FusedBackend(ReferenceBackend):
                for a in arrays[1:]):
             return super().concatenate(arrays, axis=axis)
         shape = first[:ax] + (sum(a.shape[ax] for a in arrays),) + first[ax + 1:]
+        size = 1
+        for dim in shape:
+            size *= dim
+        if not self._worth(size):
+            return super().concatenate(arrays, axis=axis)
         return np.concatenate(arrays, axis=axis, out=self._out(shape))
 
     # -- reductions ----------------------------------------------------------
@@ -637,6 +692,11 @@ class FusedBackend(ReferenceBackend):
             return ref(x, axis=axis, keepdims=keepdims)
         shape = _reduced_shape(x.shape, axis, keepdims)
         if shape is None:
+            return ref(x, axis=axis, keepdims=keepdims)
+        size = 1
+        for dim in shape:
+            size *= dim
+        if not self._worth(size):
             return ref(x, axis=axis, keepdims=keepdims)
         return fn(x, axis=axis, keepdims=keepdims, out=self._out(shape))
 
@@ -651,7 +711,8 @@ class FusedBackend(ReferenceBackend):
     def grad_zeros(self, like: np.ndarray) -> np.ndarray:
         # Workspace buffers are C-contiguous; only substitute one when the
         # reference np.zeros_like would be C-contiguous too.
-        if isinstance(like, np.ndarray) and like.flags.c_contiguous:
+        if (isinstance(like, np.ndarray) and like.flags.c_contiguous
+                and self._worth(like.size)):
             buf = self._out(like.shape)
             buf.fill(0.0)
             return buf
@@ -668,7 +729,8 @@ class FusedBackend(ReferenceBackend):
         # reference expression: its K-order astype preserves the broadcast
         # stride pattern, and forcing a C buffer would change the layout a
         # downstream pairwise-summed reduction sees (one-ulp divergence).
-        if self._f64(grad) and grad.shape == tuple(shape):
+        if self._f64(grad) and grad.shape == tuple(shape) \
+                and self._worth(grad.size):
             out = self._out(grad.shape)
             np.copyto(out, grad)
             return out
@@ -680,7 +742,7 @@ class FusedBackend(ReferenceBackend):
     # equal while the reference's N temporaries collapse to the buffers below.
 
     def softmax_forward(self, x: np.ndarray, axis: int) -> np.ndarray:
-        if not self._f64(x):
+        if not self._f64(x) or not self._worth(x.size):
             return super().softmax_forward(x, axis)
         out = self._out(x.shape)
         np.subtract(x, x.max(axis=axis, keepdims=True), out=out)
@@ -689,7 +751,7 @@ class FusedBackend(ReferenceBackend):
         return out
 
     def softmax_backward(self, g: np.ndarray, y: np.ndarray, axis: int) -> np.ndarray:
-        if not (self._f64(g) and self._f64(y)):
+        if not (self._f64(g) and self._f64(y) and self._worth(y.size)):
             return super().softmax_backward(g, y, axis)
         out = self._out(y.shape)
         np.multiply(g, y, out=out)
@@ -699,7 +761,7 @@ class FusedBackend(ReferenceBackend):
         return out
 
     def log_softmax_forward(self, x: np.ndarray, axis: int) -> np.ndarray:
-        if not self._f64(x):
+        if not self._f64(x) or not self._worth(x.size):
             return super().log_softmax_forward(x, axis)
         out = self._out(x.shape)
         np.subtract(x, x.max(axis=axis, keepdims=True), out=out)
@@ -712,7 +774,7 @@ class FusedBackend(ReferenceBackend):
 
     def log_softmax_backward(self, g: np.ndarray, soft: np.ndarray,
                              axis: int) -> np.ndarray:
-        if not (self._f64(g) and self._f64(soft)):
+        if not (self._f64(g) and self._f64(soft) and self._worth(g.size)):
             return super().log_softmax_backward(g, soft, axis)
         out = self._out(g.shape)
         np.multiply(soft, g.sum(axis=axis, keepdims=True), out=out)
@@ -720,7 +782,7 @@ class FusedBackend(ReferenceBackend):
         return out
 
     def sigmoid_forward(self, x: np.ndarray) -> np.ndarray:
-        if not self._f64(x):
+        if not self._f64(x) or not self._worth(x.size):
             return super().sigmoid_forward(x)
         out = self._out(x.shape)
         np.negative(x, out=out)
@@ -730,7 +792,7 @@ class FusedBackend(ReferenceBackend):
         return out
 
     def sigmoid_backward(self, g: np.ndarray, y: np.ndarray) -> np.ndarray:
-        if not (self._f64(g) and self._f64(y)):
+        if not (self._f64(g) and self._f64(y) and self._worth(y.size)):
             return super().sigmoid_backward(g, y)
         out = self._out(y.shape)
         np.multiply(g, y, out=out)
@@ -744,7 +806,7 @@ class FusedBackend(ReferenceBackend):
         return self._unary(np.tanh, super().tanh_forward, x)
 
     def tanh_backward(self, g: np.ndarray, y: np.ndarray) -> np.ndarray:
-        if not (self._f64(g) and self._f64(y)):
+        if not (self._f64(g) and self._f64(y) and self._worth(y.size)):
             return super().tanh_backward(g, y)
         out = self._out(y.shape)
         np.power(y, 2, out=out)
@@ -753,7 +815,7 @@ class FusedBackend(ReferenceBackend):
         return out
 
     def gelu_forward(self, x: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
-        if not self._f64(x):
+        if not self._f64(x) or not self._worth(x.size):
             return super().gelu_forward(x)
         s = self._out(x.shape)          # retained: the backward pass reads it
         np.multiply(-1.702, x, out=s)
@@ -766,7 +828,8 @@ class FusedBackend(ReferenceBackend):
 
     def gelu_backward(self, g: np.ndarray, x: np.ndarray,
                       s: np.ndarray) -> np.ndarray:
-        if not (self._f64(g) and self._f64(x) and self._f64(s)):
+        if not (self._f64(g) and self._f64(x) and self._f64(s)
+                and self._worth(x.size)):
             return super().gelu_backward(g, x, s)
         out = self._out(x.shape)
         np.multiply(1.702, x, out=out)
@@ -780,7 +843,7 @@ class FusedBackend(ReferenceBackend):
         return out
 
     def relu_forward(self, x: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
-        if not self._f64(x):
+        if not self._f64(x) or not self._worth(x.size):
             return super().relu_forward(x)
         mask = x > 0
         return np.multiply(x, mask, out=self._out(x.shape)), mask
@@ -790,7 +853,8 @@ class FusedBackend(ReferenceBackend):
 
     def fixed_time_encoding(self, dt: np.ndarray,
                             omega: np.ndarray) -> np.ndarray:
-        if not (self._f64(dt) and self._f64(omega)):
+        if not (self._f64(dt) and self._f64(omega)
+                and self._worth(dt.size * omega.shape[-1])):
             return super().fixed_time_encoding(dt, omega)
         out = self._out(dt.shape + (omega.shape[-1],))
         np.multiply(dt[..., None], omega, out=out)

@@ -149,6 +149,16 @@ class TestCapability:
 
 
 class TestPrefetchShutdown:
+    @pytest.fixture(autouse=True)
+    def _legacy_prefetch_path(self, monkeypatch):
+        # These tests assert the prefetch engine's own producer-thread
+        # lifecycle.  Under REPRO_PREP_POOL the engine routes its epochs
+        # through the prep runner and never starts that thread (the pool has
+        # its own shutdown tests in test_prep_pool.py), so pin the pooled
+        # runtime off regardless of the environment matrix cell.
+        monkeypatch.delenv("REPRO_PREP_POOL", raising=False)
+        monkeypatch.delenv("REPRO_PREP_CACHE_MB", raising=False)
+
     def test_consumer_exception_stops_producer(self, engine_graph):
         trainer = TaserTrainer(engine_graph, engine_config(
             backbone="graphmixer", adaptive_minibatch=False,
