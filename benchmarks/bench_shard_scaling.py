@@ -24,7 +24,19 @@ Correctness contracts asserted at every scale:
 * ``W = 2`` reproduces exactly under the same seed — recorded as a
   ``determinism`` hash pair (run vs replay) that ``tools/bench_gate.py``
   checks for equality, so a determinism break fails CI even if the
-  assertion itself were lost.
+  assertion itself were lost;
+* the ``pickle`` and ``shm`` gradient transports produce bitwise-identical
+  trajectories at every ``W`` across the serial/thread/process pools —
+  recorded as the ``comms_equivalence`` hash pair the gate enforces.
+
+A second sweep times the **comms cells**: the process pool (the backend
+where gradients actually cross a serialization boundary) under each
+transport at every ``W``, recording the ``sync = reduce + transport``
+split, worker-side ``pack_seconds`` and ``barrier_bytes_moved`` per cell.
+At scale >= 0.5 the sweep asserts *hard* that the flat-bucket shm transport
+cuts barrier (sync) seconds by >= 30% vs pickle at every ``W > 1`` and
+never regresses ``W = 1``; at smoke scale the same checks print warnings
+(timings too noisy to gate).
 
 Results land in ``BENCH_shard_scaling.json`` for CI artifacts and the
 benchmark regression gate.
@@ -48,9 +60,11 @@ def _loss_trajectory_hash(trajectories) -> str:
     return hashlib.sha256(blob).hexdigest()[:16]
 
 
-def _run_sharded(graph, config, workers, epochs, policy="temporal"):
+def _run_sharded(graph, config, workers, epochs, policy="temporal",
+                 backend="thread", comms=None):
     with ShardedTrainer(graph, config, num_workers=workers,
-                        shard_policy=policy, backend="thread") as trainer:
+                        shard_policy=policy, backend=backend,
+                        comms=comms) as trainer:
         start = time.perf_counter()
         for _ in range(epochs):
             trainer.train_epoch()
@@ -58,16 +72,27 @@ def _run_sharded(graph, config, workers, epochs, policy="temporal"):
         trajectories = [stats.batch_losses for stats in trainer.history]
         # Per-shard phase totals across epochs (NF/FS/AS/PP per shard).
         per_shard = [{} for _ in range(workers)]
-        sync_seconds = 0.0
+        sync = reduce = transport = pack = 0.0
+        bytes_moved = 0
         for stats in trainer.history:
-            sync_seconds += stats.sync_seconds
+            sync += stats.sync_seconds
+            reduce += stats.reduce_seconds
+            transport += stats.transport_seconds
+            pack += stats.pack_seconds
+            bytes_moved += stats.barrier_bytes_moved
             for shard_summary in stats.per_shard:
                 acc = per_shard[shard_summary["shard"]]
                 for key, value in shard_summary["runtime"].items():
                     acc[key] = acc.get(key, 0.0) + value
+        denom = max(epochs, 1)
         return {
             "wall_seconds_per_epoch": wall,
-            "sync_seconds": sync_seconds / max(epochs, 1),
+            "comms": trainer.comms_name,
+            "sync_seconds": sync / denom,
+            "reduce_seconds": reduce / denom,
+            "transport_seconds": transport / denom,
+            "pack_seconds": pack / denom,
+            "barrier_bytes_moved": bytes_moved // denom,
             "per_shard_phases": per_shard,
             "plan": trainer.plan.describe(),
             "global_steps_per_epoch": trainer.history[-1].global_steps,
@@ -154,6 +179,82 @@ def test_shard_scaling(benchmark, wikipedia_graph):
         assert not violations, "; ".join(violations)
     else:
         for violation in violations:
+            print(f"  WARN (smoke-scale timing): {violation}")
+
+    # ---- comms cells: pickle vs shm under the process pool -------------------
+    # The process pool is the backend where gradients genuinely cross a
+    # serialization boundary, so it is the one whose barrier the flat-bucket
+    # transport must visibly cut; serial/thread cells below contribute to
+    # the bitwise-equivalence contract only.
+    comms_epochs = 1
+    comms_cells = {"pickle": {}, "shm": {}}
+    equivalence = {"pickle": {}, "shm": {}}
+    for comms in ("pickle", "shm"):
+        for w in worker_counts:
+            entry, traj = _run_sharded(wikipedia_graph, config, w,
+                                       comms_epochs, backend="process",
+                                       comms=comms)
+            # The scaling sweep above already records plan + phase detail.
+            entry.pop("per_shard_phases")
+            entry.pop("plan")
+            comms_cells[comms][str(w)] = entry
+            equivalence[comms][f"process:w{w}"] = traj
+    for pool in ("serial", "thread"):
+        for comms in ("pickle", "shm"):
+            for w in worker_counts:
+                _, traj = _run_sharded(wikipedia_graph, config, w,
+                                       comms_epochs, backend=pool,
+                                       comms=comms)
+                equivalence[comms][f"{pool}:w{w}"] = traj
+
+    payload["comms"] = {
+        "pool": "process",
+        "epochs": comms_epochs,
+        "cells": comms_cells,
+        "equivalence_pools": ["serial", "thread", "process"],
+    }
+    payload["comms_equivalence"] = {
+        "hash": _loss_trajectory_hash(equivalence["pickle"]),
+        "replay_hash": _loss_trajectory_hash(equivalence["shm"]),
+    }
+
+    print("Comms cells (process pool, pickle vs shm)")
+    for w in worker_counts:
+        p = comms_cells["pickle"][str(w)]
+        s = comms_cells["shm"][str(w)]
+        cut = (1.0 - s["sync_seconds"] / p["sync_seconds"]) * 100 \
+            if p["sync_seconds"] else 0.0
+        print(f"  W={w}: sync {p['sync_seconds']*1e3:7.2f} ms -> "
+              f"{s['sync_seconds']*1e3:7.2f} ms ({cut:+.0f}% cut), bytes "
+              f"{p['barrier_bytes_moved']} -> {s['barrier_bytes_moved']}")
+
+    # Bitwise contract: every pool x W trajectory identical across transports.
+    assert equivalence["shm"] == equivalence["pickle"], \
+        "shm transport must match the pickle trajectories bitwise"
+    # Byte accounting: pickle moves every gradient array through the pool
+    # channel; the flat-bucket transports move none.
+    for w in worker_counts:
+        assert comms_cells["pickle"][str(w)]["barrier_bytes_moved"] > 0
+        assert comms_cells["shm"][str(w)]["barrier_bytes_moved"] == 0
+    # Barrier cut: hard at scale >= 0.5 (stable timings), warn-only at smoke.
+    comms_violations = []
+    for w in worker_counts:
+        p = comms_cells["pickle"][str(w)]["sync_seconds"]
+        s = comms_cells["shm"][str(w)]["sync_seconds"]
+        if w == 1:
+            # No cut required at W=1 (one worker, nothing to exchange) —
+            # but the flat path must not cost more than pickle there.
+            if s > p + max(0.25 * p, 2e-3):
+                comms_violations.append(
+                    f"W=1 barrier regressed under shm: {s:.4f}s vs {p:.4f}s")
+        elif s > 0.7 * p:
+            comms_violations.append(
+                f"shm must cut barrier seconds >=30% at W={w}: "
+                f"{s:.4f}s vs {p:.4f}s pickle")
+    if bench_scale() >= 0.5:
+        assert not comms_violations, "; ".join(comms_violations)
+    else:
+        for violation in comms_violations:
             print(f"  WARN (smoke-scale timing): {violation}")
 
     benchmark.extra_info["shard_scaling"] = payload

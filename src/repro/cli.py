@@ -50,6 +50,8 @@ from .core.prep_backend import (PREP_BACKEND_ENV_VAR, available_prep_backends,
                                 resolve_prep_backend_name)
 from .device.precision import (PRECISION_ENV_VAR, available_precisions,
                                resolve_precision_name)
+from .distributed.comms import (COMMS_ENV_VAR, available_comms,
+                                resolve_comms_name)
 from .tensor.backend import (BACKEND_ENV_VAR, available_backends,
                              resolve_backend_name)
 
@@ -130,6 +132,16 @@ def _precision_name(text: str) -> str:
     return text
 
 
+def _comms_name(text: str) -> str:
+    """Argparse type: reject unknown gradient transports at parse time with
+    the registered-transport list (mirrors :func:`_backend_name`)."""
+    if text not in available_comms():
+        raise argparse.ArgumentTypeError(
+            f"unknown gradient comms {text!r}: registered transports are "
+            f"{', '.join(available_comms())}")
+    return text
+
+
 def _add_runtime_args(parser: argparse.ArgumentParser) -> None:
     """The runtime-selection flags shared by every subcommand — one
     definition for ``--backend``/``--prep-backend``/``--precision``, so the
@@ -154,6 +166,16 @@ def _add_runtime_args(parser: argparse.ArgumentParser) -> None:
                              "quantization + compressed hot/warm/cold "
                              "caches); default resolves "
                              f"${PRECISION_ENV_VAR} then 'fp32'")
+    parser.add_argument("--comms", type=_comms_name, default=None,
+                        help="gradient transport of the sharded barrier: "
+                             "'pickle' (grad lists through the worker-pool "
+                             "channel, reference reduction) or 'shm' (flat-"
+                             "bucket vectorised reduction over shared-memory "
+                             "/ in-process buffers, bitwise-identical "
+                             "trajectories); default resolves "
+                             f"${COMMS_ENV_VAR} then 'pickle'; only 'repro "
+                             "train' has a barrier — the other subcommands "
+                             "validate but ignore it")
     parser.add_argument("--prep-pool-workers", type=int, default=None,
                         metavar="N",
                         help="prep-pool worker threads preparing batches "
@@ -174,7 +196,7 @@ def _add_runtime_args(parser: argparse.ArgumentParser) -> None:
 def _validate_runtime_env(parser: argparse.ArgumentParser,
                           args: argparse.Namespace) -> None:
     """Reject bad ``REPRO_BACKEND`` / ``REPRO_PREP_BACKEND`` /
-    ``REPRO_PRECISION`` values at parse time.
+    ``REPRO_PRECISION`` / ``REPRO_COMMS`` values at parse time.
 
     Without the explicit flag, the config resolves each runtime dimension
     from the environment; validating here surfaces a typo as a normal usage
@@ -185,7 +207,8 @@ def _validate_runtime_env(parser: argparse.ArgumentParser,
     """
     for flag, resolver in (("backend", resolve_backend_name),
                            ("prep_backend", resolve_prep_backend_name),
-                           ("precision", resolve_precision_name)):
+                           ("precision", resolve_precision_name),
+                           ("comms", resolve_comms_name)):
         if getattr(args, flag, None) is None:
             try:
                 resolver(None)
@@ -243,7 +266,7 @@ def _taser_config(args: argparse.Namespace) -> TaserConfig:
         finder=args.finder, decoder=args.decoder, cache_ratio=args.cache_ratio,
         batch_engine=args.batch_engine, prefetch_depth=args.prefetch_depth,
         array_backend=args.backend, prep_backend=args.prep_backend,
-        precision=args.precision,
+        precision=args.precision, comms=args.comms,
         prep_pool_workers=args.prep_pool_workers,
         prep_cache_mb=args.prep_cache_mb,
         batch_size=args.batch_size, epochs=args.epochs,
@@ -337,7 +360,8 @@ def run_train(args: argparse.Namespace) -> dict:
     start = time.time()
     with ShardedTrainer(graph, config, num_workers=args.workers,
                         shard_policy=args.shard_policy,
-                        backend=args.worker_backend) as trainer:
+                        backend=args.worker_backend,
+                        comms=args.comms) as trainer:
         result = trainer.fit()
         last = trainer.history[-1] if trainer.history else None
         return {
@@ -358,7 +382,14 @@ def run_train(args: argparse.Namespace) -> dict:
             "final_model_loss": (result.history[-1].model_loss
                                  if result.history else None),
             "runtime_breakdown_seconds": result.runtime_breakdown,
+            "comms": trainer.comms_name,
             "sync_seconds": sum(s.sync_seconds for s in trainer.history),
+            "reduce_seconds": sum(s.reduce_seconds for s in trainer.history),
+            "transport_seconds": sum(s.transport_seconds
+                                     for s in trainer.history),
+            "pack_seconds": sum(s.pack_seconds for s in trainer.history),
+            "barrier_bytes_moved": sum(s.barrier_bytes_moved
+                                       for s in trainer.history),
             "cache_hit_rates": result.cache_hit_rates,
             "wall_clock_seconds": time.time() - start,
         }
@@ -378,6 +409,12 @@ def _train_main(argv: Sequence[str]) -> int:
     print(f"  shards         : {summary['workers']} x {summary['shard_policy']} "
           f"{plan['shard_events']} events "
           f"(backend {summary['worker_backend']}, engine {summary['batch_engine']})")
+    print(f"  comms          : {summary['comms']} "
+          f"(sync {summary['sync_seconds']:.2f}s = "
+          f"reduce {summary['reduce_seconds']:.2f}s + "
+          f"transport {summary['transport_seconds']:.2f}s; "
+          f"pack {summary['pack_seconds']:.2f}s, "
+          f"{summary['barrier_bytes_moved'] / 1e6:.1f} MB moved)")
     print(f"  test MRR       : {summary['test_mrr']:.4f}")
     print(f"  final loss     : {summary['final_model_loss']:.4f}")
     breakdown = ", ".join(

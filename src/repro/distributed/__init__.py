@@ -11,9 +11,15 @@ with deterministic gradient averaging at batch barriers.
 ``W = 1`` is bitwise-identical to the single-process
 :class:`~repro.core.trainer.TaserTrainer`; ``W > 1`` is reproducible under a
 fixed seed and identical across the ``serial``, ``thread`` and ``process``
-pool backends.  See ``docs/ARCHITECTURE.md`` (sharded data-parallel layer).
+pool backends — and across the ``pickle`` and ``shm`` gradient transports
+(:mod:`repro.distributed.comms`).  See ``docs/ARCHITECTURE.md`` (sharded
+data-parallel layer, gradient comms layer).
 """
 
+from .comms import (COMMS_ENV_VAR, DEFAULT_COMMS, GradientBucket,
+                    GradientComms, InProcessComms, PickleComms,
+                    SharedMemoryComms, available_comms, make_comms,
+                    register_comms, resolve_comms_name)
 from .pool import (WORKER_BACKENDS, WorkerPool, SerialWorkerPool,
                    ThreadWorkerPool, ProcessWorkerPool, make_worker_pool)
 from .trainer import ShardedEpochStats, ShardedTrainer, average_gradients
@@ -31,4 +37,15 @@ __all__ = [
     "average_gradients",
     "ShardTask",
     "ShardWorker",
+    "COMMS_ENV_VAR",
+    "DEFAULT_COMMS",
+    "GradientBucket",
+    "GradientComms",
+    "InProcessComms",
+    "PickleComms",
+    "SharedMemoryComms",
+    "available_comms",
+    "make_comms",
+    "register_comms",
+    "resolve_comms_name",
 ]

@@ -29,6 +29,7 @@ from __future__ import annotations
 
 import multiprocessing as mp
 import threading
+import time
 import traceback
 from queue import Queue
 from typing import Any, List, Optional, Sequence, Tuple
@@ -57,6 +58,21 @@ class WorkerPool:
     def run_one(self, index: int, method: str, *args) -> Any:
         """Invoke ``method(*args)`` on a single worker."""
         raise NotImplementedError
+
+    def run_timed(self, method: str,
+                  args_list: Optional[Sequence[Tuple]] = None
+                  ) -> Tuple[List[Any], float]:
+        """Like :meth:`run`, plus the master-side marshalling seconds.
+
+        The second element is the time the *master* spends moving arguments
+        and results across the pool boundary — for the process pool that is
+        argument pickling + pipe writes on dispatch and pipe reads +
+        unpickling once a reply is ready, explicitly *excluding* the wait
+        for workers to compute (which a wall-clock measure conflates with
+        transport whenever workers outnumber cores).  In-process pools pass
+        references, so their marshalling cost is 0.
+        """
+        return self.run(method, args_list), 0.0
 
     def shutdown(self) -> None:
         """Release pool resources (threads / processes)."""
@@ -218,6 +234,8 @@ class ProcessWorkerPool(WorkerPool):
         # pickles, which works because ShardTask carries only arrays/config.
         methods = mp.get_all_start_methods()
         ctx = mp.get_context("fork" if "fork" in methods else "spawn")
+        #: how children were started ("fork" where available, else "spawn").
+        self.start_method = ctx.get_start_method()
         self.processes = []
         self.conns = []
         for task in tasks:
@@ -228,8 +246,48 @@ class ProcessWorkerPool(WorkerPool):
             child_conn.close()
             self.processes.append(proc)
             self.conns.append(parent_conn)
-        for index, conn in enumerate(self.conns):
-            self._check(conn.recv(), index)
+        for index in range(self.num_workers):
+            self._check(self._recv(index), index)
+
+    def _send(self, index: int, message) -> None:
+        """Send one command to child ``index``; a dead child's broken pipe
+        becomes the same actionable error :meth:`_recv` raises."""
+        try:
+            self.conns[index].send(message)
+        except (BrokenPipeError, OSError):
+            proc = self.processes[index]
+            raise RuntimeError(
+                f"shard worker {index} died (exit code {proc.exitcode}) — "
+                "cannot dispatch commands; check the child's stderr / dmesg "
+                "for the cause") from None
+
+    def _recv_wait(self, index: int) -> None:
+        """Block until a reply from child ``index`` is ready, never forever.
+
+        A child that died (OOM-killed, segfaulted native code, ``os._exit``)
+        can never reply; a plain ``conn.recv()`` would hang the master — and
+        with it ``shutdown`` — indefinitely.  Poll with a short timeout and
+        turn a dead child into an actionable error instead.
+        """
+        conn = self.conns[index]
+        proc = self.processes[index]
+        while not conn.poll(0.2):
+            if not proc.is_alive() and not conn.poll(0):
+                raise RuntimeError(
+                    f"shard worker {index} died (exit code {proc.exitcode}) "
+                    "before replying — killed or crashed outside Python; "
+                    "check the child's stderr / dmesg for the cause")
+
+    def _recv(self, index: int):
+        """Receive one reply from child ``index`` (dead-child safe)."""
+        self._recv_wait(index)
+        try:
+            return self.conns[index].recv()
+        except (EOFError, OSError):
+            proc = self.processes[index]
+            raise RuntimeError(
+                f"shard worker {index} died (exit code {proc.exitcode}) "
+                "mid-reply") from None
 
     @staticmethod
     def _check(message, index: int):
@@ -241,14 +299,48 @@ class ProcessWorkerPool(WorkerPool):
 
     def run(self, method, args_list=None):
         args_list = self._resolve_args(args_list)
-        for conn, args in zip(self.conns, args_list):
-            conn.send((method, args))
-        return [self._check(conn.recv(), i)
-                for i, conn in enumerate(self.conns)]
+        for index, args in enumerate(args_list):
+            self._send(index, (method, args))
+        return [self._check(self._recv(i), i)
+                for i in range(self.num_workers)]
+
+    def run_timed(self, method, args_list=None):
+        """Broadcast like :meth:`run`, clocking the master's pipe I/O.
+
+        The I/O clock covers the send loop (argument pickling + pipe
+        writes) and each ``recv`` *after* :meth:`_recv_wait` reports a
+        reply ready (pipe read + result unpickling).  It reads the
+        **thread CPU clock**, not wall time: a ``send`` wakes the child,
+        and on a host with fewer cores than workers the scheduler may
+        preempt the master for it mid-loop — wall time would charge that
+        child's compute to the transport.  Marshalling is pure master CPU
+        (pickle, memcpy, pipe syscalls), which is exactly what the CPU
+        clock counts and preemption cannot inflate.
+        """
+        args_list = self._resolve_args(args_list)
+        io = 0.0
+        start = time.thread_time()
+        for index, args in enumerate(args_list):
+            self._send(index, (method, args))
+        io += time.thread_time() - start
+        results = []
+        for index in range(self.num_workers):
+            self._recv_wait(index)
+            start = time.thread_time()
+            try:
+                message = self.conns[index].recv()
+            except (EOFError, OSError):
+                proc = self.processes[index]
+                raise RuntimeError(
+                    f"shard worker {index} died (exit code {proc.exitcode}) "
+                    "mid-reply") from None
+            io += time.thread_time() - start
+            results.append(self._check(message, index))
+        return results, io
 
     def run_one(self, index, method, *args):
-        self.conns[index].send((method, args))
-        return self._check(self.conns[index].recv(), index)
+        self._send(index, (method, args))
+        return self._check(self._recv(index), index)
 
     def shutdown(self) -> None:
         for conn, proc in zip(self.conns, self.processes):
@@ -261,6 +353,10 @@ class ProcessWorkerPool(WorkerPool):
             proc.join(timeout=10.0)
             if proc.is_alive():  # pragma: no cover - defensive
                 proc.terminate()
+                proc.join(timeout=5.0)
+                if proc.is_alive():
+                    proc.kill()
+                    proc.join(timeout=5.0)
             conn.close()
 
 

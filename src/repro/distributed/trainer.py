@@ -46,37 +46,14 @@ from ..core.trainer import EpochStats, TaserTrainer, TrainResult
 from ..device.memory import SliceStats
 from ..graph.sharding import TemporalShardPlan, make_shard_plan
 from ..graph.temporal_graph import TemporalGraph
+# average_gradients lives in the comms module now (it is the reference
+# reduction every transport is asserted against) — re-exported here so
+# ``from repro.distributed.trainer import average_gradients`` keeps working.
+from .comms import GradientComms, average_gradients, make_comms
 from .pool import WorkerPool, make_worker_pool
-from .worker import GradList, ShardTask
+from .worker import ShardTask
 
 __all__ = ["ShardedEpochStats", "ShardedTrainer", "average_gradients"]
-
-
-def average_gradients(grad_lists: List[GradList],
-                      denominator: Optional[int] = None) -> GradList:
-    """Deterministically average aligned gradient lists.
-
-    Sums in the given (shard) order, treats ``None`` entries as zero, and
-    divides by ``denominator`` (default: number of lists).  A parameter whose
-    gradient is ``None`` in *every* list stays ``None`` so optimisers skip it
-    — exactly the single-worker behaviour when ``len(grad_lists) == 1``.
-    """
-    if not grad_lists:
-        raise ValueError("no gradient lists to average")
-    denom = float(denominator if denominator is not None else len(grad_lists))
-    averaged: GradList = []
-    for i in range(len(grad_lists[0])):
-        acc: Optional[np.ndarray] = None
-        for grads in grad_lists:
-            g = grads[i]
-            if g is None:
-                continue
-            if acc is None:
-                acc = np.array(g, copy=True)
-            else:
-                acc += g
-        averaged.append(None if acc is None else acc / denom)
-    return averaged
 
 
 @dataclass
@@ -92,12 +69,26 @@ class ShardedEpochStats(EpochStats):
 
     #: per-shard epoch summaries (losses, NF/FS/AS/PP runtime, cache stats).
     per_shard: List[Dict] = field(default_factory=list)
-    #: seconds the master spent averaging gradients at barriers.
+    #: master-side barrier seconds: ``reduce_seconds + transport_seconds``.
     sync_seconds: float = 0.0
     #: barrier-synchronized steps this epoch (min over shard batch counts).
     global_steps: int = 0
     #: raw wall-clock of the epoch as observed by the master.
     wall_seconds: float = 0.0
+    #: gradient transport in effect (``"pickle"`` or ``"shm"``).
+    comms: str = "pickle"
+    #: master seconds spent reducing gradients (loop or vectorised adds).
+    reduce_seconds: float = 0.0
+    #: master seconds in barrier exchanges net of worker compute — pipe /
+    #: pickling / queue handoff cost (near zero for zero-copy transports).
+    transport_seconds: float = 0.0
+    #: worker seconds marshalling gradients (buffer packing, ingest copies),
+    #: summed over shards.
+    pack_seconds: float = 0.0
+    #: gradient array bytes handed across the pool interface this epoch
+    #: (0 for the flat-bucket transports: gradients move through shared or
+    #: in-process buffers, never the pool channel).
+    barrier_bytes_moved: int = 0
 
 
 class ShardedTrainer:
@@ -117,19 +108,32 @@ class ShardedTrainer:
     backend:
         Worker pool backend: ``"serial"``, ``"thread"`` (default) or
         ``"process"``.
+    comms:
+        Gradient transport override: ``"pickle"`` or ``"shm"`` (see
+        :mod:`repro.distributed.comms`).  Defaults to the config's resolved
+        selection (``--comms`` flag > ``REPRO_COMMS`` env > ``"pickle"``).
     """
 
     def __init__(self, graph: TemporalGraph, config: Optional[TaserConfig] = None,
                  num_workers: int = 1, shard_policy: str = "temporal",
-                 backend: str = "thread") -> None:
+                 backend: str = "thread", comms: Optional[str] = None) -> None:
         self.config = config if config is not None else TaserConfig()
         self.graph = graph if graph.is_chronological else graph.sort_by_time()
         self.num_workers = int(num_workers)
         self.backend = backend
+        self.comms_name = (comms if comms is not None
+                           else self.config.resolved_comms)
         self.plan: TemporalShardPlan = make_shard_plan(
             self.graph, self.num_workers, shard_policy,
             cache_ratio=self.config.cache_ratio)
         self.pool: WorkerPool = make_worker_pool(backend, self._shard_tasks())
+        try:
+            self.comms: GradientComms = make_comms(
+                self.comms_name, self.pool,
+                lambda: self.pool.run_one(0, "comms_layout"))
+        except BaseException:
+            self.pool.shutdown()
+            raise
         self.history: List[ShardedEpochStats] = []
         self._epoch = 0
         self._eval_trainer: Optional[TaserTrainer] = None
@@ -164,20 +168,15 @@ class ShardedTrainer:
 
         step_losses: List[float] = []
         step_sample_losses: List[float] = []
-        sync_seconds = 0.0
         for _ in range(steps):
-            grad_lists = self.pool.run("model_backward")
-            t0 = time.perf_counter()
-            averaged = average_gradients(grad_lists, denominator=w)
-            sync_seconds += time.perf_counter() - t0
-            sampler_grads = self.pool.run("apply_model", [(averaged,)] * w)
-            contributors = [g for g in sampler_grads if g is not None]
-            if contributors:
-                t0 = time.perf_counter()
-                averaged_s = average_gradients(contributors,
-                                               denominator=len(contributors))
-                sync_seconds += time.perf_counter() - t0
-                self.pool.run("apply_sampler", [(averaged_s,)] * w)
+            # Backward -> reduce -> apply, through the selected transport
+            # (see repro.distributed.comms).  Every transport reduces in
+            # fixed shard order, so the trajectory is bitwise independent
+            # of the comms selection.
+            self.comms.step()
+        comms_stats = self.comms.epoch_stats()
+        sync_seconds = (comms_stats["reduce_seconds"]
+                        + comms_stats["transport_seconds"])
 
         summaries = self.pool.run("end_epoch")
         wall_seconds = time.perf_counter() - epoch_start
@@ -234,6 +233,12 @@ class ShardedTrainer:
             sync_seconds=sync_seconds,
             global_steps=steps,
             wall_seconds=wall_seconds,
+            comms=str(comms_stats["comms"]),
+            reduce_seconds=float(comms_stats["reduce_seconds"]),
+            transport_seconds=float(comms_stats["transport_seconds"]),
+            pack_seconds=float(sum(s.get("pack_seconds", 0.0)
+                                   for s in summaries)),
+            barrier_bytes_moved=int(comms_stats["barrier_bytes_moved"]),
         )
         self.history.append(stats)
         return stats
@@ -291,8 +296,17 @@ class ShardedTrainer:
             cache_hit_rates=[s.cache_hit_rate for s in self.history])
 
     def shutdown(self) -> None:
-        """Tear down the worker pool (threads / child processes)."""
-        self.pool.shutdown()
+        """Tear down the comms transport, then the worker pool.
+
+        Comms first, unconditionally: shared-memory segments must be
+        unlinked even when a worker crashed mid-barrier (this runs on the
+        context-manager unwind), and unlinking does not require the
+        children to be alive.
+        """
+        try:
+            self.comms.shutdown()
+        finally:
+            self.pool.shutdown()
 
     def __enter__(self) -> "ShardedTrainer":
         return self

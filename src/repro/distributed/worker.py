@@ -36,14 +36,16 @@ recycled at its next batch boundary.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
 from ..core.config import TaserConfig
 from ..core.trainer import TaserTrainer, TrainStep
 from ..graph.temporal_graph import TemporalGraph
+from .comms import WorkerCommsEndpoint
 
 __all__ = ["ShardTask", "ShardWorker"]
 
@@ -105,6 +107,8 @@ class ShardWorker:
         self._sample_losses: List[float] = []
         self._ws_start = self.trainer.array_backend.arena_stats(
             self.trainer._workspace)
+        self._comms: Optional[WorkerCommsEndpoint] = None
+        self._pack_seconds = 0.0
 
     # -- epoch lifecycle ---------------------------------------------------------
 
@@ -132,6 +136,7 @@ class ShardWorker:
         self._step = None
         self._losses = []
         self._sample_losses = []
+        self._pack_seconds = 0.0
 
     # -- lock-step protocol --------------------------------------------------------
 
@@ -160,12 +165,29 @@ class ShardWorker:
         Returns the sampler's gradients when the adaptive neighbor sampler
         produced a sample loss for this batch, else ``None``.
         """
+        sampler_params = self._apply_model_grads(grads)
+        if sampler_params is None:
+            return None
+        return [None if p.grad is None else p.grad.copy()
+                for p in sampler_params]
+
+    def _apply_model_grads(self, grads: GradList):
+        """Shared body of the model half-step, transport-independent.
+
+        Both transports route through here so the replica executes the exact
+        same op sequence per step — the bitwise contract depends on it.
+        Returns the sampler optimizer's live params when the adaptive
+        sampler produced a sample loss for this batch, else ``None``.
+        """
         t = self.trainer
         step = self._step
+        t0 = time.perf_counter()
         for p, g in zip(t.model_optimizer.params, grads):
             # Private copy: clipping scales gradients in place, and under the
-            # thread pool all workers receive the same averaged arrays.
+            # thread pool all workers receive the same averaged arrays (the
+            # bucket transports hand out views of the shared averaged buffer).
             p.grad = None if g is None else np.array(g, copy=True)
+        self._pack_seconds += time.perf_counter() - t0
         t._model_step()
         t.selector.update(step.prepared.local_indices, step.pos_logits.data)
         self._losses.append(float(step.model_loss.data))
@@ -179,16 +201,94 @@ class ShardWorker:
             self._sample_losses.append(0.0)
             return None
         self._sample_losses.append(float(sample_loss.data))
-        return [None if p.grad is None else p.grad.copy()
-                for p in t.sampler_optimizer.params]
+        return t.sampler_optimizer.params
 
     def apply_sampler(self, grads: GradList) -> None:
         """Apply averaged sampler gradients (clip + step, AS phase)."""
         t = self.trainer
+        t0 = time.perf_counter()
         for p, g in zip(t.sampler_optimizer.params, grads):
             p.grad = None if g is None else np.array(g, copy=True)
+        self._pack_seconds += time.perf_counter() - t0
         with t.timer.section("AS"):
             t._sampler_step()
+
+    # -- timed pickle-transport wrappers -------------------------------------------
+
+    def barrier_apply_model(self, grads: GradList
+                            ) -> Tuple[Optional[GradList], float]:
+        """:meth:`apply_model` plus the in-method seconds the comms layer
+        subtracts from master wall time to isolate transport cost."""
+        t0 = time.perf_counter()
+        out = self.apply_model(grads)
+        return out, time.perf_counter() - t0
+
+    def barrier_apply_sampler(self, grads: GradList) -> Tuple[None, float]:
+        """:meth:`apply_sampler`, timed like :meth:`barrier_apply_model`."""
+        t0 = time.perf_counter()
+        self.apply_sampler(grads)
+        return None, time.perf_counter() - t0
+
+    # -- flat-bucket transport endpoints ---------------------------------------------
+
+    def comms_layout(self) -> Dict:
+        """Parameter shapes for the flat-bucket layout (worker 0 speaks for
+        all — replicas are bitwise identical by construction)."""
+        t = self.trainer
+        return {
+            "model": [tuple(p.data.shape) for p in t.model_optimizer.params],
+            "sampler": ([tuple(p.data.shape)
+                         for p in t.sampler_optimizer.params]
+                        if t.sampler_optimizer is not None else None),
+        }
+
+    def comms_attach(self, spec: Dict) -> None:
+        """Bind this worker to the master's gradient buffers (see
+        :class:`~repro.distributed.comms.WorkerCommsEndpoint`)."""
+        if self._comms is not None:
+            self._comms.close()
+        self._comms = WorkerCommsEndpoint(spec)
+
+    def comms_model_backward(self) -> bool:
+        """Bucket counterpart of :meth:`model_backward`: pack gradients into
+        this worker's flat buffer in place; only a present/exhausted flag
+        crosses the pool channel.  Packing reads the live ``p.grad`` arrays
+        directly (the pack *is* the copy out of the replica's arena)."""
+        t = self.trainer
+        prepared = next(self._batches, None)
+        if prepared is None:
+            self._step = None
+            return False
+        self._step = t._model_backward(prepared)
+        c = self._comms
+        t0 = time.perf_counter()
+        c.model_bucket.pack([p.grad for p in t.model_optimizer.params],
+                            c.model_buf)
+        self._pack_seconds += time.perf_counter() - t0
+        return True
+
+    def comms_apply_model(self) -> Tuple[bool, float]:
+        """Bucket counterpart of :meth:`apply_model`: read the averaged
+        gradients from the shared buffer, apply, and pack any sampler
+        gradients into this worker's sampler buffer.  Returns (has sampler
+        contribution, in-method seconds)."""
+        t0 = time.perf_counter()
+        c = self._comms
+        sampler_params = self._apply_model_grads(
+            c.model_bucket.unpack(c.model_avg))
+        if sampler_params is not None:
+            p0 = time.perf_counter()
+            c.sampler_bucket.pack([p.grad for p in sampler_params],
+                                  c.sampler_buf)
+            self._pack_seconds += time.perf_counter() - p0
+        return sampler_params is not None, time.perf_counter() - t0
+
+    def comms_apply_sampler(self) -> Tuple[None, float]:
+        """Bucket counterpart of :meth:`apply_sampler`."""
+        t0 = time.perf_counter()
+        c = self._comms
+        self.apply_sampler(c.sampler_bucket.unpack(c.sampler_avg))
+        return None, time.perf_counter() - t0
 
     def end_epoch(self) -> Dict:
         """Finish the batch iterator and return the shard's epoch summary.
@@ -247,6 +347,7 @@ class ShardWorker:
             "pool_occupancy": float(pool_stats.get("pool_occupancy", 0.0)),
             "prep_pool_workers": int(
                 pool_stats.get("prep_pool_workers", 0)),
+            "pack_seconds": float(self._pack_seconds),
         }
 
     # -- replica state ----------------------------------------------------------------
@@ -260,4 +361,7 @@ class ShardWorker:
         return state
 
     def shutdown(self) -> None:
+        if self._comms is not None:
+            self._comms.close()
+            self._comms = None
         self.trainer.engine.shutdown()

@@ -160,6 +160,8 @@ class TestRequiredHashPairs:
                 "overlap_equivalence"}
         assert set(bench_gate.REQUIRED_HASH_PAIRS["BENCH_precision.json"]) \
             == {"precision_determinism", "fp32_equivalence"}
+        assert set(bench_gate.REQUIRED_HASH_PAIRS["BENCH_shard_scaling.json"]) \
+            == {"determinism", "comms_equivalence"}
 
     def _fig1_artifact(self, overlap_replay="pool", fused_prep=1.0,
                        reference_prep=1.0):
@@ -299,4 +301,39 @@ class TestRatioContracts:
         artifact = self._precision_artifact()
         del artifact["results"]["precision_determinism"]
         _write(current, artifact, name="BENCH_precision.json")
+        assert _gate(current, baselines) == 1
+
+    def _shard_artifact(self, comms_replay="traj"):
+        return {
+            "benchmark": "shard_scaling", "scale": 0.1, "engine_env": "sync",
+            "unix_time": 0.0,
+            "results": {
+                "determinism": {"hash": "det", "replay_hash": "det"},
+                "comms_equivalence": {"hash": "traj",
+                                      "replay_hash": comms_replay},
+            },
+        }
+
+    def test_shard_pairs_present_and_equal_pass(self, dirs):
+        current, baselines = dirs
+        baselines.mkdir(parents=True)
+        _write(current, self._shard_artifact(),
+               name="BENCH_shard_scaling.json")
+        assert _gate(current, baselines) == 0
+
+    def test_comms_replay_mismatch_fails_at_every_scale(self, dirs):
+        """A shm trajectory diverging from the pickle anchor breaks the
+        transports' bitwise contract — enforced without --strict."""
+        current, baselines = dirs
+        baselines.mkdir(parents=True)
+        _write(current, self._shard_artifact(comms_replay="doctored"),
+               name="BENCH_shard_scaling.json")
+        assert _gate(current, baselines) == 1          # even without --strict
+
+    def test_comms_pair_missing_fails_hard(self, dirs):
+        current, baselines = dirs
+        baselines.mkdir(parents=True)
+        artifact = self._shard_artifact()
+        del artifact["results"]["comms_equivalence"]
+        _write(current, artifact, name="BENCH_shard_scaling.json")
         assert _gate(current, baselines) == 1

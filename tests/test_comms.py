@@ -1,0 +1,366 @@
+"""Gradient comms layer: bucket bitwise contract + transport equivalence.
+
+Three contract layers (see docs/ARCHITECTURE.md, "Gradient comms layer"):
+
+* :class:`GradientBucket` pack/unpack round-trips a ``GradList`` exactly
+  (including the ``None`` mask and non-contiguous inputs), and its flat
+  vectorised ``reduce`` is **bitwise-identical** to the reference
+  :func:`average_gradients` loop — property-tested over mixed shapes, mask
+  patterns and worker counts;
+* the ``pickle`` and ``shm`` transports produce bitwise-identical loss
+  trajectories at every worker count across the serial/thread/process
+  pools (the ``comms_equivalence`` contract the bench gate enforces);
+* shared-memory segments never outlive the trainer — unlinked on normal
+  shutdown *and* after a worker crash — and a dead child surfaces as a
+  clear error instead of a hang.
+"""
+
+import glob
+import os
+import time
+from multiprocessing import shared_memory
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import TaserConfig
+from repro.distributed import ShardedTrainer, average_gradients
+from repro.distributed.comms import (COMMS_ENV_VAR, DEFAULT_COMMS,
+                                     GradientBucket, PickleComms,
+                                     available_comms, gradlist_nbytes,
+                                     make_comms, register_comms,
+                                     resolve_comms_name)
+from repro.graph import CTDGConfig, generate_ctdg
+
+
+def tiny_config(**overrides):
+    base = dict(backbone="graphmixer", adaptive_minibatch=True,
+                adaptive_neighbor=True, hidden_dim=8, time_dim=4,
+                num_neighbors=4, num_candidates=8, batch_size=64, epochs=1,
+                max_batches_per_epoch=4, eval_max_edges=40, eval_negatives=10,
+                lr=1e-3, dropout=0.0, seed=5)
+    base.update(overrides)
+    return TaserConfig(**base)
+
+
+@pytest.fixture(scope="module")
+def comms_graph():
+    return generate_ctdg(CTDGConfig(num_src=40, num_dst=25, num_events=900,
+                                    num_communities=4, edge_dim=8, seed=13,
+                                    noise_prob=0.15, repeat_prob=0.4))
+
+
+def _bitwise_equal(a, b) -> bool:
+    if a is None or b is None:
+        return a is None and b is None
+    return a.shape == b.shape and a.tobytes() == b.tobytes()
+
+
+# ------------------------------------------------------------------- bucket
+
+@st.composite
+def grad_problem(draw):
+    """Shapes + W gradient lists with mixed None masks and layouts."""
+    shapes = draw(st.lists(
+        st.sampled_from([(3,), (7,), (2, 4), (5, 3), (1,), (2, 2, 3), ()]),
+        min_size=1, max_size=6))
+    num_lists = draw(st.integers(min_value=1, max_value=3))
+    seed = draw(st.integers(min_value=0, max_value=2**31 - 1))
+    rng = np.random.default_rng(seed)
+    grad_lists = []
+    for _ in range(num_lists):
+        grads = []
+        for shape in shapes:
+            choice = rng.integers(0, 4)
+            if choice == 0:
+                grads.append(None)
+                continue
+            g = rng.standard_normal(shape)
+            # Sprinkle exact signed zeros: the -0.0 packing trick must be
+            # bitwise-transparent even when real gradients carry them.
+            flat = g.reshape(-1)
+            if flat.size:
+                zeros = rng.random(flat.size) < 0.25
+                flat[zeros] = rng.choice([0.0, -0.0])
+            if choice == 2 and len(shape) >= 2:
+                # Non-contiguous input: transpose of a reversed-shape array.
+                g = np.ascontiguousarray(g.transpose()).transpose()
+                assert not g.flags["C_CONTIGUOUS"] or g.size <= 1
+            elif choice == 3 and shape and shape[0] > 1:
+                # Sliced view with a stride.
+                base = rng.standard_normal((shape[0] * 2,) + shape[1:])
+                g = base[::2]
+                assert g.shape == shape
+            grads.append(g)
+        grad_lists.append(grads)
+    return shapes, grad_lists
+
+
+@settings(max_examples=40, deadline=None)
+@given(grad_problem())
+def test_bucket_roundtrip_and_reduce_match_reference(problem):
+    shapes, grad_lists = problem
+    bucket = GradientBucket(shapes)
+
+    buffers = []
+    for grads in grad_lists:
+        buf = bucket.allocate()
+        bucket.pack(grads, buf)
+        unpacked = bucket.unpack(buf)
+        assert len(unpacked) == len(grads)
+        for orig, back in zip(grads, unpacked):
+            assert _bitwise_equal(orig, back)
+        buffers.append(buf)
+
+    w = len(grad_lists)
+    out = bucket.allocate()
+    bucket.reduce(buffers, out=out, denominator=w)
+    flat_avg = bucket.unpack_averaged(out)
+    ref_avg = average_gradients(grad_lists, denominator=w)
+    for ref, got in zip(ref_avg, flat_avg):
+        assert _bitwise_equal(ref, got)
+
+
+def test_bucket_layout_and_validation():
+    bucket = GradientBucket([(2, 3), (4,)])
+    assert bucket.num_params == 2
+    assert bucket.sizes == [6, 4]
+    assert bucket.offsets == [2, 8]          # data starts after 2 mask slots
+    assert bucket.total_floats == 12
+    assert bucket.nbytes == 96
+    with pytest.raises(ValueError, match="expected 2 gradients"):
+        bucket.pack([None], bucket.allocate())
+    with pytest.raises(ValueError, match="no gradient buffers"):
+        bucket.reduce([], out=bucket.allocate())
+
+
+def test_bucket_reduce_skips_divide_at_denominator_one():
+    bucket = GradientBucket([(3,)])
+    buf = bucket.allocate()
+    grads = [np.array([1.0, -0.0, 3.5])]
+    bucket.pack(grads, buf)
+    out = bucket.allocate()
+    bucket.reduce([buf], out=out, denominator=1)
+    assert _bitwise_equal(bucket.unpack(out)[0], grads[0])
+
+
+# -------------------------------------------------------- average_gradients
+
+def test_average_gradients_single_list_early_out_copies():
+    grads = [np.array([1.0, -0.0, 2.0]), None]
+    out = average_gradients([grads], denominator=1)
+    assert _bitwise_equal(out[0], grads[0])
+    assert out[0] is not grads[0], "early-out must return a private copy"
+    assert out[1] is None
+
+
+def test_average_gradients_single_list_respects_denominator():
+    # denominator != 1 must NOT take the early-out: the caller asked for a
+    # real divide (the sharded trainer never does this, but the reference
+    # function's contract is denominator-driven, not W-driven).
+    grads = [np.array([2.0, 4.0])]
+    out = average_gradients([grads], denominator=2)
+    np.testing.assert_array_equal(out[0], [1.0, 2.0])
+
+
+def test_average_gradients_matches_pre_earlyout_form():
+    rng = np.random.default_rng(0)
+    grads = [rng.standard_normal(5), None, rng.standard_normal((2, 2))]
+    fast = average_gradients([grads])
+    # The general path, forced by a second all-None contributor weighted out
+    # of the sum, divided by 1 — the reference semantics of W = 1.
+    slow = average_gradients([grads, [None, None, None]], denominator=1)
+    for f, s in zip(fast, slow):
+        assert _bitwise_equal(f, s)
+
+
+def test_gradlist_nbytes():
+    assert gradlist_nbytes([np.zeros(4), None, np.zeros((2, 3))]) == 80
+
+
+# ----------------------------------------------------------------- registry
+
+def test_registry_names_and_resolution(monkeypatch):
+    assert "pickle" in available_comms()
+    assert "shm" in available_comms()
+    monkeypatch.delenv(COMMS_ENV_VAR, raising=False)
+    assert resolve_comms_name(None) == DEFAULT_COMMS == "pickle"
+    assert resolve_comms_name("shm") == "shm"
+    monkeypatch.setenv(COMMS_ENV_VAR, "shm")
+    assert resolve_comms_name(None) == "shm"
+    assert resolve_comms_name("pickle") == "pickle"  # explicit beats env
+    with pytest.raises(ValueError, match="pickle"):
+        resolve_comms_name("bogus")
+
+
+def test_register_custom_comms_dispatches():
+    calls = {}
+
+    def factory(pool, layout_provider):
+        calls["pool"] = pool
+        return PickleComms(pool)
+
+    register_comms("test-custom", factory)
+    try:
+
+        class FakePool:
+            num_workers = 1
+            backend = "serial"
+
+        comms = make_comms("test-custom", FakePool(), lambda: {})
+        assert isinstance(comms, PickleComms)
+        assert isinstance(calls["pool"], FakePool)
+    finally:
+        from repro.distributed.comms import _REGISTRY
+        _REGISTRY._factories.pop("test-custom", None)
+
+
+def test_config_validates_and_resolves_comms(monkeypatch):
+    monkeypatch.delenv(COMMS_ENV_VAR, raising=False)
+    assert tiny_config().resolved_comms == "pickle"
+    assert tiny_config(comms="shm").resolved_comms == "shm"
+    with pytest.raises(ValueError, match="gradient comms"):
+        tiny_config(comms="bogus")
+    monkeypatch.setenv(COMMS_ENV_VAR, "shm")
+    assert tiny_config().resolved_comms == "shm"
+    monkeypatch.setenv(COMMS_ENV_VAR, "bogus")
+    with pytest.raises(ValueError, match="gradient comms"):
+        tiny_config()
+
+
+def test_cli_comms_flag_and_env_validation(monkeypatch):
+    from repro.cli import build_train_parser, _validate_runtime_env
+
+    parser = build_train_parser()
+    args = parser.parse_args(["--comms", "shm", "--epochs", "1"])
+    assert args.comms == "shm"
+    with pytest.raises(SystemExit):
+        parser.parse_args(["--comms", "bogus"])
+    monkeypatch.setenv(COMMS_ENV_VAR, "bogus")
+    args = parser.parse_args(["--epochs", "1"])
+    with pytest.raises(SystemExit):
+        _validate_runtime_env(parser, args)
+
+
+# ----------------------------------------------------- transport equivalence
+
+def _trajectory(graph, comms, backend, workers, epochs=2):
+    config = tiny_config()
+    with ShardedTrainer(graph, config, num_workers=workers,
+                        backend=backend, comms=comms) as trainer:
+        losses = [trainer.train_epoch().batch_losses for _ in range(epochs)]
+        last = trainer.history[-1]
+        return losses, last
+
+
+@pytest.mark.parametrize("backend,workers", [
+    ("serial", 1), ("serial", 3), ("thread", 2),
+])
+def test_shm_matches_pickle_inprocess(comms_graph, backend, workers):
+    pickle_losses, pickle_last = _trajectory(comms_graph, "pickle",
+                                             backend, workers)
+    shm_losses, shm_last = _trajectory(comms_graph, "shm", backend, workers)
+    assert shm_losses == pickle_losses
+    assert pickle_last.comms == "pickle"
+    assert shm_last.comms == "shm"
+    assert pickle_last.barrier_bytes_moved > 0
+    assert shm_last.barrier_bytes_moved == 0
+    for stats in (pickle_last, shm_last):
+        assert stats.sync_seconds == pytest.approx(
+            stats.reduce_seconds + stats.transport_seconds)
+        assert stats.pack_seconds >= 0.0
+
+
+def test_shm_matches_pickle_process_pool(comms_graph):
+    pickle_losses, pickle_last = _trajectory(comms_graph, "pickle",
+                                             "process", 2, epochs=1)
+    shm_losses, shm_last = _trajectory(comms_graph, "shm",
+                                       "process", 2, epochs=1)
+    assert shm_losses == pickle_losses
+    assert pickle_last.barrier_bytes_moved > 0
+    assert shm_last.barrier_bytes_moved == 0
+
+
+def test_trainer_rejects_unknown_comms(comms_graph):
+    with pytest.raises(ValueError, match="gradient comms"):
+        ShardedTrainer(comms_graph, tiny_config(), num_workers=1,
+                       backend="serial", comms="bogus")
+
+
+def test_run_train_summary_reports_comms(comms_graph, monkeypatch):
+    from repro import cli as cli_mod
+
+    monkeypatch.setattr(cli_mod, "load_dataset",
+                        lambda name, scale=1.0, seed=0: comms_graph)
+    parser = cli_mod.build_train_parser()
+    args = parser.parse_args(["--workers", "2", "--worker-backend", "serial",
+                              "--comms", "shm", "--epochs", "1",
+                              "--max-batches-per-epoch", "3"])
+    summary = cli_mod.run_train(args)
+    assert summary["comms"] == "shm"
+    assert summary["barrier_bytes_moved"] == 0
+    assert summary["sync_seconds"] == pytest.approx(
+        summary["reduce_seconds"] + summary["transport_seconds"])
+
+
+# ------------------------------------------------- crash + lifecycle hygiene
+
+def _shm_segment_names():
+    if not os.path.isdir("/dev/shm"):  # pragma: no cover - non-tmpfs host
+        return None
+    return sorted(glob.glob("/dev/shm/rcomms_*"))
+
+
+def test_shm_segments_unlinked_on_shutdown(comms_graph):
+    before = _shm_segment_names()
+    trainer = ShardedTrainer(comms_graph, tiny_config(), num_workers=2,
+                             backend="process", comms="shm")
+    try:
+        seg_name = trainer.comms._segment_names[0]
+        assert shared_memory.SharedMemory(name=seg_name) is not None
+    finally:
+        trainer.shutdown()
+    with pytest.raises(FileNotFoundError):
+        shared_memory.SharedMemory(name=seg_name)
+    if before is not None:
+        assert _shm_segment_names() == before
+
+
+def test_dead_child_raises_instead_of_hanging(comms_graph):
+    trainer = ShardedTrainer(comms_graph, tiny_config(), num_workers=2,
+                             backend="process", comms="shm")
+    before = _shm_segment_names()
+    assert before  # the run is live: its segments exist
+    seg_name = trainer.comms._segment_names[0]
+    victim = trainer.pool.processes[0]
+    victim.kill()
+    victim.join(timeout=10.0)
+    start = time.perf_counter()
+    with pytest.raises(RuntimeError, match=r"shard worker 0 died"):
+        trainer.pool.run("num_batches", [(2,)] * 2)
+    assert time.perf_counter() - start < 30.0
+    # The context-manager unwind path: comms cleanup must run even though a
+    # child is gone, leaving no /dev/shm entries behind.
+    start = time.perf_counter()
+    trainer.shutdown()
+    assert time.perf_counter() - start < 30.0
+    with pytest.raises(FileNotFoundError):
+        shared_memory.SharedMemory(name=seg_name)
+    after = _shm_segment_names()
+    if after is not None:
+        assert not set(after) & set(before)
+
+
+def test_pickle_comms_flags_exhausted_worker():
+    class FakePool:
+        num_workers = 2
+        backend = "serial"
+
+        def run(self, method, args_list=None):
+            assert method == "model_backward"
+            return [[np.ones(2)], None]   # worker 1 ran out of batches
+
+    with pytest.raises(RuntimeError, match=r"\[1\] exhausted"):
+        PickleComms(FakePool()).step()

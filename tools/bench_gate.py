@@ -17,7 +17,8 @@ a *gate* by diffing them against the committed baselines in
   equal values, and when a baseline records the pair the fresh ``hash``
   payload must still be self-consistent.  Contract pairs listed in
   ``REQUIRED_HASH_PAIRS`` (the fig1 ``backend_equivalence`` /
-  ``prep_backend_equivalence`` / ``overlap_equivalence`` pairs) must also be
+  ``prep_backend_equivalence`` / ``overlap_equivalence`` pairs, the shard
+  sweep's ``determinism`` / ``comms_equivalence`` pairs, ...) must also be
   *present* in the fresh artifact — a benchmark that silently stops emitting
   one fails hard.
 * **ratio contract** — ``RATIO_CONTRACTS`` caps one timing metric relative
@@ -68,6 +69,7 @@ REQUIRED_HASH_PAIRS: Dict[str, Tuple[str, ...]] = {
         "overlap_equivalence"),
     "BENCH_serve_latency.json": ("serve_determinism",),
     "BENCH_precision.json": ("precision_determinism", "fp32_equivalence"),
+    "BENCH_shard_scaling.json": ("determinism", "comms_equivalence"),
 }
 
 #: intra-artifact timing contracts: ``(artifact, numerator path, denominator
